@@ -1,0 +1,49 @@
+"""Ablation C: number of decomposition rounds (depth of the Eqn. 2 window
+sequence Σ1..Σl).
+
+Each optimizer round applies one more level of the timing-driven
+decomposition; this bench shows depth converging over rounds, the
+multi-level lookahead structure the carry-lookahead analogy predicts.
+
+Run:  pytest benchmarks/bench_ablation_rounds.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.aig import depth
+from repro.cec import check_equivalence
+from repro.core import LookaheadOptimizer
+
+ROUNDS = [1, 2, 4, 8, 16]
+
+_results: Dict[int, int] = {}
+
+
+@pytest.mark.parametrize("rounds", ROUNDS)
+def test_rounds(benchmark, rounds):
+    aig = ripple_carry_adder(16)
+
+    def run():
+        return LookaheadOptimizer(max_rounds=rounds).optimize(aig)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert check_equivalence(aig, out)
+    _results[rounds] = depth(out)
+
+
+def test_print_rounds_ablation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\nAblation C: 16-bit adder depth vs decomposition rounds")
+    print(f"{'rounds':>8}{'depth':>8}")
+    for rounds in ROUNDS:
+        print(f"{rounds:>8}{_results.get(rounds, '-'):>8}")
+    # Monotone non-increasing in allowed rounds.
+    values = [_results[r] for r in ROUNDS if r in _results]
+    assert values == sorted(values, reverse=True) or all(
+        values[i] >= values[i + 1] for i in range(len(values) - 1)
+    )

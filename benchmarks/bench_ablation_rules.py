@@ -1,0 +1,57 @@
+"""Ablation B: reconstruction with vs without implication rules.
+
+The paper credits its 28 implication-based rules for frequent level savings
+during reconstruction; this bench quantifies that claim by running the
+optimizer with the rule engine enabled and disabled.
+
+Run:  pytest benchmarks/bench_ablation_rules.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.aig import depth
+from repro.bench import BENCHMARKS
+from repro.cec import check_equivalence
+from repro.core import LookaheadOptimizer
+
+CIRCUITS = {
+    "adder8": lambda: ripple_carry_adder(8),
+    "adder16": lambda: ripple_carry_adder(16),
+    "C432": BENCHMARKS["C432"],
+}
+
+_results: Dict[str, Dict[str, int]] = {}
+
+
+@pytest.mark.parametrize("circuit", list(CIRCUITS))
+@pytest.mark.parametrize("rules", ["with-rules", "without-rules"])
+def test_rules_ablation(benchmark, circuit, rules):
+    aig = CIRCUITS[circuit]()
+
+    def run():
+        opt = LookaheadOptimizer(
+            max_rounds=10, use_rules=(rules == "with-rules")
+        )
+        return opt.optimize(aig)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert check_equivalence(aig, out)
+    _results.setdefault(circuit, {})[rules] = depth(out)
+
+
+def test_print_rules_ablation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\nAblation B: final AIG depth with/without implication rules")
+    print(f"{'circuit':10s}{'with-rules':>12}{'without-rules':>15}")
+    for circuit, per in _results.items():
+        print(
+            f"{circuit:10s}{per.get('with-rules', '-'):>12}"
+            f"{per.get('without-rules', '-'):>15}"
+        )
+        if "with-rules" in per and "without-rules" in per:
+            assert per["with-rules"] <= per["without-rules"]

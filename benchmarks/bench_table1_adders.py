@@ -1,0 +1,57 @@
+"""Table 1: best AIG levels after timing optimization of n-bit adders.
+
+Regenerates the paper's Table 1 — the theoretical optimum and the best
+result of each flow (SIS, ABC, Synopsys DC stand-ins, and lookahead
+synthesis) on ripple-carry adders for n = 2, 4, 8, 16.
+
+Run:  pytest benchmarks/bench_table1_adders.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.adders import optimal_cla_levels, ripple_carry_adder
+from repro.aig import depth
+from repro.cec import check_equivalence
+
+from conftest import FLOWS
+
+SIZES = (2, 4, 8, 16)
+
+_results: Dict[int, Dict[str, int]] = {}
+
+
+def _row(n: int) -> Dict[str, int]:
+    if n in _results:
+        return _results[n]
+    aig = ripple_carry_adder(n)
+    row = {"Optimum": optimal_cla_levels(n)}
+    for flow_name, flow in FLOWS.items():
+        optimized = flow(aig)
+        assert check_equivalence(aig, optimized)
+        row[flow_name] = depth(optimized)
+    _results[n] = row
+    return row
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_row(benchmark, n):
+    row = benchmark.pedantic(_row, args=(n,), rounds=1, iterations=1)
+    # Shape assertions from the paper: lookahead is the best synthesis
+    # result and tracks the optimum; ABC (area flow) trails.
+    assert row["Lookahead"] <= row["DC"] <= row["ABC"]
+    assert row["Lookahead"] <= row["SIS"]
+    assert row["Lookahead"] <= 2 * row["Optimum"]
+
+
+def test_print_table1(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\nTable 1: best AIG levels, n-bit ripple-carry adders")
+    cols = ["Optimum", "SIS", "ABC", "DC", "Lookahead"]
+    print(f"{'n':>4} " + " ".join(f"{c:>10}" for c in cols))
+    for n in SIZES:
+        row = _row(n)
+        print(f"{n:>4} " + " ".join(f"{row[c]:>10}" for c in cols))

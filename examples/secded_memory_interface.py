@@ -1,0 +1,78 @@
+"""Design flow walkthrough: a SECDED memory-interface corrector.
+
+Shows the library as a downstream user would drive it end to end:
+
+1. build a 16-bit SECDED corrector (the C1908 stand-in's core);
+2. optimize it with the lookahead flow;
+3. technology-map the result and run STA/power;
+4. export gate-level Verilog and an AIGER file for other tools.
+
+Run:  python examples/secded_memory_interface.py
+"""
+
+import io
+
+from repro.aig import AIG, depth, write_aag
+from repro.bench import blocks
+from repro.cec import check_equivalence
+from repro.core import LookaheadOptimizer, lookahead_flow
+from repro.mapping import (
+    dynamic_power_uw,
+    map_aig,
+    mapped_delay,
+    write_verilog,
+)
+
+
+def build_corrector() -> AIG:
+    aig = AIG()
+    data = [aig.add_pi(f"d{i}") for i in range(16)]
+    checks = [aig.add_pi(f"p{i}") for i in range(6)]
+    corrected, syndrome, single, double = blocks.secded_correct(
+        aig, data, checks
+    )
+    for i, bit in enumerate(corrected):
+        aig.add_po(bit, f"q{i}")
+    aig.add_po(single, "single_err")
+    aig.add_po(double, "double_err")
+    return aig
+
+
+def main() -> None:
+    aig = build_corrector()
+    print(
+        f"SECDED corrector: {aig.num_pis} PIs, {aig.num_pos} POs, "
+        f"{aig.num_ands()} ANDs, {depth(aig)} levels"
+    )
+
+    optimized = lookahead_flow(
+        aig, LookaheadOptimizer(max_rounds=6, max_outputs_per_round=6)
+    )
+    assert check_equivalence(aig, optimized)
+    print(
+        f"optimized: {optimized.num_ands()} ANDs, "
+        f"{depth(optimized)} levels (equivalence verified)"
+    )
+
+    netlist = map_aig(optimized)
+    print(
+        f"mapped: {netlist.num_gates} gates, area {netlist.area:.1f}, "
+        f"delay {mapped_delay(netlist):.0f} ps, "
+        f"power {dynamic_power_uw(netlist):.1f} uW @ 1 GHz"
+    )
+
+    verilog = io.StringIO()
+    write_verilog(netlist, verilog, module="secded_corrector")
+    aiger = io.StringIO()
+    write_aag(optimized, aiger)
+    print(
+        f"exports: {len(verilog.getvalue().splitlines())} lines of Verilog, "
+        f"{len(aiger.getvalue().splitlines())} lines of AIGER"
+    )
+    print("\nfirst Verilog lines:")
+    for line in verilog.getvalue().splitlines()[:6]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

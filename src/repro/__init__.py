@@ -1,0 +1,8 @@
+"""Reproduction of "Timing-driven optimization using lookahead logic
+circuits" (Choudhury & Mohanram, DAC 2009).
+
+Public API re-exports live at the subpackage level; the most common entry
+points are imported here for convenience.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Adder generators for the case study and Table 1."""
+
+from .generators import (
+    brent_kung_adder,
+    carry_lookahead_adder,
+    carry_select_adder,
+    carry_skip_adder,
+    kogge_stone_adder,
+    optimal_cla_levels,
+    ripple_carry_adder,
+    sklansky_adder,
+)
+
+__all__ = [
+    "brent_kung_adder",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "carry_skip_adder",
+    "kogge_stone_adder",
+    "optimal_cla_levels",
+    "ripple_carry_adder",
+    "sklansky_adder",
+]

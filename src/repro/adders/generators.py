@@ -1,0 +1,201 @@
+"""Adder generators (the paper's case study, Sec. 4, and Table 1 workload).
+
+All generators return an :class:`~repro.aig.AIG` with PIs ordered
+``a0..a(n-1), b0..b(n-1), cin`` and POs ``s0..s(n-1), cout``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..aig import AIG, lit_not
+
+
+def _adder_inputs(n: int, with_cin: bool) -> Tuple[AIG, List[int], List[int], int]:
+    aig = AIG()
+    a = [aig.add_pi(f"a{i}") for i in range(n)]
+    b = [aig.add_pi(f"b{i}") for i in range(n)]
+    cin = aig.add_pi("cin") if with_cin else 0
+    return aig, a, b, cin
+
+
+def ripple_carry_adder(n: int, with_cin: bool = True) -> AIG:
+    """Linear cascade of full adders: O(n) carry delay (the paper's input)."""
+    aig, a, b, carry = _adder_inputs(n, with_cin)
+    for i in range(n):
+        axb = aig.xor_(a[i], b[i])
+        s = aig.xor_(axb, carry)
+        carry = aig.or_(aig.and_(a[i], b[i]), aig.and_(axb, carry))
+        aig.add_po(s, f"s{i}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def carry_lookahead_adder(n: int, block: int = 4, with_cin: bool = True) -> AIG:
+    """Single-level blocked CLA: flat lookahead inside each block."""
+    aig, a, b, cin = _adder_inputs(n, with_cin)
+    g = [aig.and_(a[i], b[i]) for i in range(n)]
+    p = [aig.or_(a[i], b[i]) for i in range(n)]
+    carries = [cin]
+    for i in range(n):
+        # c_{i+1} = g_i + p_i g_{i-1} + ... + p_i..p_j g_j + p_i..p_0 c_in,
+        # flattened within the block for O(log block) depth.
+        terms = [g[i]]
+        prefix = p[i]
+        j = i - 1
+        start = (i // block) * block
+        while j >= start:
+            terms.append(aig.and_(prefix, g[j]))
+            prefix = aig.and_(prefix, p[j])
+            j -= 1
+        terms.append(aig.and_(prefix, carries[start]))
+        carries.append(aig.or_many(terms))
+    for i in range(n):
+        axb = aig.xor_(a[i], b[i])
+        aig.add_po(aig.xor_(axb, carries[i]), f"s{i}")
+    aig.add_po(carries[n], "cout")
+    return aig
+
+
+def carry_select_adder(n: int, block: int = 4, with_cin: bool = True) -> AIG:
+    """Blocks computed for both carry-in values, selected by the real carry."""
+    aig, a, b, cin = _adder_inputs(n, with_cin)
+    carry = cin
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        sums = {}
+        carries = {}
+        for assumed in (0, 1):
+            c = lit_not(0) if assumed else 0  # constant literal
+            block_sums = []
+            for i in range(start, end):
+                axb = aig.xor_(a[i], b[i])
+                block_sums.append(aig.xor_(axb, c))
+                c = aig.or_(aig.and_(a[i], b[i]), aig.and_(axb, c))
+            sums[assumed] = block_sums
+            carries[assumed] = c
+        for offset, i in enumerate(range(start, end)):
+            aig.add_po(
+                aig.mux_(carry, sums[1][offset], sums[0][offset]), f"s{i}"
+            )
+        carry = aig.mux_(carry, carries[1], carries[0])
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def carry_skip_adder(n: int, block: int = 4, with_cin: bool = True) -> AIG:
+    """Ripple blocks with a propagate-bypass path around each block."""
+    aig, a, b, cin = _adder_inputs(n, with_cin)
+    carry = cin
+    sums = []
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        block_in = carry
+        c = block_in
+        propagate_all = lit_not(0)
+        for i in range(start, end):
+            axb = aig.xor_(a[i], b[i])
+            sums.append(aig.xor_(axb, c))
+            c = aig.or_(aig.and_(a[i], b[i]), aig.and_(axb, c))
+            # The skip condition must use XOR-propagate: with OR-propagate a
+            # generated carry (a=b=1) would be bypassed incorrectly.
+            propagate_all = aig.and_(propagate_all, axb)
+        carry = aig.mux_(propagate_all, block_in, c)
+    for i, s in enumerate(sums):
+        aig.add_po(s, f"s{i}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def _prefix_adder(n: int, with_cin: bool, combine_pairs) -> AIG:
+    """Shared skeleton for parallel-prefix adders.
+
+    ``combine_pairs(n)`` yields rounds of ``(i, j)`` pairs meaning
+    "combine prefix at i with prefix at j" ((g,p) o operator).
+    """
+    aig, a, b, cin = _adder_inputs(n, with_cin)
+    g = [aig.and_(a[i], b[i]) for i in range(n)]
+    p = [aig.xor_(a[i], b[i]) for i in range(n)]
+    # Prefix (G, P) pairs; index i holds the prefix over bits [?, i].
+    bigg = list(g)
+    bigp = list(p)
+    for rounds in combine_pairs(n):
+        new_g = list(bigg)
+        new_p = list(bigp)
+        for i, j in rounds:
+            new_g[i] = aig.or_(bigg[i], aig.and_(bigp[i], bigg[j]))
+            new_p[i] = aig.and_(bigp[i], bigp[j])
+        bigg, bigp = new_g, new_p
+    carries = [cin]
+    for i in range(n):
+        carries.append(aig.or_(bigg[i], aig.and_(bigp[i], cin)))
+    for i in range(n):
+        aig.add_po(aig.xor_(p[i], carries[i]), f"s{i}")
+    aig.add_po(carries[n], "cout")
+    return aig
+
+
+def kogge_stone_adder(n: int, with_cin: bool = True) -> AIG:
+    """Minimal-depth, maximal-wiring parallel-prefix adder."""
+
+    def rounds(n: int):
+        dist = 1
+        while dist < n:
+            yield [(i, i - dist) for i in range(dist, n)]
+            dist *= 2
+
+    return _prefix_adder(n, with_cin, rounds)
+
+
+def sklansky_adder(n: int, with_cin: bool = True) -> AIG:
+    """Divide-and-conquer prefix tree (minimal depth, high fanout)."""
+
+    def rounds(n: int):
+        dist = 1
+        while dist < n:
+            pairs = []
+            for start in range(dist, n, 2 * dist):
+                for i in range(start, min(start + dist, n)):
+                    pairs.append((i, start - 1))
+            yield pairs
+            dist *= 2
+
+    return _prefix_adder(n, with_cin, rounds)
+
+
+def brent_kung_adder(n: int, with_cin: bool = True) -> AIG:
+    """Area-efficient prefix tree (2*log2(n) - 1 prefix levels)."""
+
+    def rounds(n: int):
+        # Up-sweep.
+        dist = 1
+        while dist < n:
+            yield [
+                (i, i - dist)
+                for i in range(2 * dist - 1, n, 2 * dist)
+            ]
+            dist *= 2
+        # Down-sweep.
+        dist //= 4 if dist >= 4 else 1
+        dist = dist if dist >= 1 else 1
+        d = dist
+        while d >= 1:
+            yield [
+                (i + d, i) for i in range(2 * d - 1, n - d, 2 * d)
+            ]
+            d //= 2
+
+    return _prefix_adder(n, with_cin, rounds)
+
+
+def optimal_cla_levels(n: int) -> int:
+    """Theoretical AIG levels to generate cout in a parallel-prefix CLA.
+
+    One level for the (g, p) pairs, ``ceil(log2 n)`` prefix stages of two
+    levels each (AND-OR), and one level folding in the carry-in — matching
+    Table 1's "Optimum" column (5 for n=2, then 7, 9, 11).
+    """
+    if n <= 1:
+        return 3
+    return 2 * math.ceil(math.log2(n)) + 3

@@ -1,0 +1,90 @@
+"""Cone, fanout, and transitive-fanout utilities on AIGs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .aig import AIG, lit_var
+
+
+def fanin_cone_vars(aig: AIG, lits: Iterable[int]) -> Set[int]:
+    """All variables in the transitive fan-in of the given literals."""
+    seen: Set[int] = set()
+    stack = [lit_var(lit) for lit in lits]
+    while stack:
+        var = stack.pop()
+        if var in seen:
+            continue
+        seen.add(var)
+        if aig.is_and(var):
+            f0, f1 = aig.fanins(var)
+            stack.append(lit_var(f0))
+            stack.append(lit_var(f1))
+    return seen
+
+
+def cone_pis(aig: AIG, lits: Iterable[int]) -> List[int]:
+    """PI variables in the transitive fan-in, in PI order."""
+    cone = fanin_cone_vars(aig, lits)
+    return [var for var in aig.pis if var in cone]
+
+
+def fanout_lists(aig: AIG) -> List[List[int]]:
+    """For each variable, the list of AND variables that read it."""
+    fanouts: List[List[int]] = [[] for _ in range(aig.num_vars)]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        fanouts[lit_var(f0)].append(var)
+        if lit_var(f1) != lit_var(f0):
+            fanouts[lit_var(f1)].append(var)
+    return fanouts
+
+
+def fanout_counts(aig: AIG) -> List[int]:
+    """Reference count of each variable (PO references included)."""
+    counts = [0] * aig.num_vars
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        counts[lit_var(f0)] += 1
+        counts[lit_var(f1)] += 1
+    for po in aig.pos:
+        counts[lit_var(po)] += 1
+    return counts
+
+
+def tfo_vars(aig: AIG, roots: Iterable[int]) -> Set[int]:
+    """Transitive fan-out variable set of the given root variables."""
+    fanouts = fanout_lists(aig)
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        var = stack.pop()
+        if var in seen:
+            continue
+        seen.add(var)
+        stack.extend(fanouts[var])
+    return seen
+
+
+def mffc_vars(aig: AIG, root: int) -> Set[int]:
+    """Maximum fanout-free cone of ``root``: nodes used only inside it."""
+    counts = fanout_counts(aig)
+    mffc: Set[int] = set()
+    stack = [root]
+    while stack:
+        var = stack.pop()
+        if var in mffc or not aig.is_and(var):
+            continue
+        mffc.add(var)
+        f0, f1 = aig.fanins(var)
+        for fv in (lit_var(f0), lit_var(f1)):
+            # A fanin joins the MFFC when all its references are inside.
+            if aig.is_and(fv):
+                outside = counts[fv] - sum(
+                    1
+                    for u in mffc
+                    if fv in (lit_var(aig.fanins(u)[0]), lit_var(aig.fanins(u)[1]))
+                )
+                if outside <= 0:
+                    stack.append(fv)
+    return mffc

@@ -1,0 +1,48 @@
+"""Graphviz DOT export of AIGs (debugging/visualization aid).
+
+Complemented edges are drawn dashed, critical-path nodes highlighted, so
+`dot -Tsvg` renders the structures the optimizer produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, TextIO
+
+from .aig import AIG, lit_neg, lit_var
+from .levels import critical_vars, levels
+
+
+def write_dot(
+    aig: AIG,
+    fh: TextIO,
+    highlight_critical: bool = True,
+    max_nodes: Optional[int] = 2000,
+) -> None:
+    """Write the AIG as a DOT digraph (PIs at the bottom, POs on top)."""
+    if max_nodes is not None and aig.num_vars > max_nodes:
+        raise ValueError(
+            f"AIG too large to render ({aig.num_vars} > {max_nodes} nodes)"
+        )
+    crit: Set[int] = critical_vars(aig) if highlight_critical else set()
+    lvl = levels(aig)
+    fh.write("digraph aig {\n  rankdir=BT;\n")
+    fh.write('  node [shape=circle, fontsize=10];\n')
+    for i, (var, name) in enumerate(zip(aig.pis, aig.pi_names)):
+        style = ', style=filled, fillcolor="#ffd28a"' if var in crit else ""
+        fh.write(
+            f'  n{var} [label="{name}", shape=box{style}];\n'
+        )
+    for var in aig.and_vars():
+        style = ', style=filled, fillcolor="#ff9d9d"' if var in crit else ""
+        fh.write(f'  n{var} [label="&\\nL{lvl[var]}"{style}];\n')
+        for fi in aig.fanins(var):
+            dash = ", style=dashed" if lit_neg(fi) else ""
+            fh.write(f"  n{lit_var(fi)} -> n{var} [dir=none{dash}];\n")
+    for i, (po, name) in enumerate(zip(aig.pos, aig.po_names)):
+        fh.write(
+            f'  o{i} [label="{name}", shape=invtriangle, '
+            'style=filled, fillcolor="#a8d0ff"];\n'
+        )
+        dash = ", style=dashed" if lit_neg(po) else ""
+        fh.write(f"  n{lit_var(po)} -> o{i} [dir=none{dash}];\n")
+    fh.write("}\n")

@@ -1,0 +1,225 @@
+"""Readers/writers: ASCII AIGER and a BLIF subset.
+
+Enough interchange support that circuits produced here can be inspected with
+standard tools (ABC reads both formats) and external AIGs can be imported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from ..sop import Cover
+from .aig import AIG, CONST0, lit_neg, lit_not, lit_var, make_lit
+
+
+def write_aag(aig: AIG, fh: TextIO) -> None:
+    """Write ASCII AIGER (``aag``) format."""
+    ands = list(aig.and_vars())
+    # AIGER requires PIs first, then ANDs, in increasing variable order;
+    # our append-only AIG may interleave, so renumber.
+    order: Dict[int, int] = {0: 0}
+    for i, var in enumerate(aig.pis):
+        order[var] = i + 1
+    for i, var in enumerate(ands):
+        order[var] = aig.num_pis + 1 + i
+
+    def ren(lit: int) -> int:
+        return make_lit(order[lit_var(lit)], lit_neg(lit))
+
+    m = aig.num_pis + len(ands)
+    fh.write(f"aag {m} {aig.num_pis} 0 {aig.num_pos} {len(ands)}\n")
+    for var in aig.pis:
+        fh.write(f"{make_lit(order[var])}\n")
+    for po in aig.pos:
+        fh.write(f"{ren(po)}\n")
+    for var in ands:
+        f0, f1 = aig.fanins(var)
+        a, b = ren(f0), ren(f1)
+        if a < b:
+            a, b = b, a
+        fh.write(f"{make_lit(order[var])} {a} {b}\n")
+    for i, name in enumerate(aig.pi_names):
+        fh.write(f"i{i} {name}\n")
+    for i, name in enumerate(aig.po_names):
+        fh.write(f"o{i} {name}\n")
+
+
+def read_aag(fh: TextIO) -> AIG:
+    """Read ASCII AIGER (combinational subset, no latches)."""
+    header = fh.readline().split()
+    if not header or header[0] != "aag":
+        raise ValueError("not an ASCII AIGER file")
+    _m, num_i, num_l, num_o, num_a = map(int, header[1:6])
+    if num_l:
+        raise ValueError("latches are not supported")
+    aig = AIG()
+    lit_map: Dict[int, int] = {0: CONST0, 1: lit_not(CONST0)}
+
+    def resolve(ext_lit: int) -> int:
+        base = ext_lit & ~1
+        if base not in lit_map:
+            raise ValueError(f"undefined literal {ext_lit}")
+        lit = lit_map[base]
+        return lit_not(lit) if ext_lit & 1 else lit
+
+    pi_ext = []
+    for _ in range(num_i):
+        ext = int(fh.readline())
+        pi_ext.append(ext)
+        lit_map[ext & ~1] = aig.add_pi()
+    po_ext = [int(fh.readline()) for _ in range(num_o)]
+    for _ in range(num_a):
+        parts = fh.readline().split()
+        out_ext, a_ext, b_ext = map(int, parts[:3])
+        lit_map[out_ext & ~1] = aig.and_(resolve(a_ext), resolve(b_ext))
+    for ext in po_ext:
+        aig.add_po(resolve(ext))
+    # Optional symbol table.
+    for line in fh:
+        line = line.strip()
+        if not line or line == "c":
+            break
+        kind, _, name = line.partition(" ")
+        if kind.startswith("i") and kind[1:].isdigit():
+            aig.pi_names[int(kind[1:])] = name
+        elif kind.startswith("o") and kind[1:].isdigit():
+            aig.po_names[int(kind[1:])] = name
+    return aig
+
+
+def write_blif(aig: AIG, fh: TextIO, model: str = "top") -> None:
+    """Write the AIG as BLIF with 2-input AND ``.names`` blocks."""
+    fh.write(f".model {model}\n")
+    fh.write(".inputs " + " ".join(aig.pi_names) + "\n")
+    fh.write(".outputs " + " ".join(aig.po_names) + "\n")
+
+    def sig(lit: int) -> str:
+        var = lit_var(lit)
+        if var == 0:
+            return "const1" if lit_neg(lit) else "const0"
+        if aig.is_pi(var):
+            base = aig.pi_names[aig.pis.index(var)]
+        else:
+            base = f"n{var}"
+        if lit_neg(lit):
+            inv = f"{base}_bar"
+            return inv
+        return base
+
+    emitted_inv = set()
+    emitted_const = set()
+
+    def ensure(lit: int) -> str:
+        var = lit_var(lit)
+        name = sig(lit)
+        if var == 0 and name not in emitted_const:
+            emitted_const.add(name)
+            fh.write(f".names {name}\n")
+            if name == "const1":
+                fh.write("1\n")
+        if lit_neg(lit) and var != 0 and name not in emitted_inv:
+            emitted_inv.add(name)
+            fh.write(f".names {sig(lit & ~1)} {name}\n0 1\n")
+        return name
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = ensure(f0)
+        b = ensure(f1)
+        fh.write(f".names {a} {b} n{var}\n11 1\n")
+    for po_lit, po_name in zip(aig.pos, aig.po_names):
+        src = ensure(po_lit)
+        fh.write(f".names {src} {po_name}\n1 1\n")
+    fh.write(".end\n")
+
+
+def read_blif(fh: TextIO) -> AIG:
+    """Read a combinational BLIF file (single model, ``.names`` only)."""
+    tokens_lines: List[List[str]] = []
+    buffer = ""
+    for raw in fh:
+        line = raw.split("#", 1)[0].rstrip("\n")
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        if buffer.strip():
+            tokens_lines.append(buffer.split())
+        buffer = ""
+
+    aig = AIG()
+    signals: Dict[str, int] = {}
+    outputs: List[str] = []
+    i = 0
+    while i < len(tokens_lines):
+        toks = tokens_lines[i]
+        if toks[0] == ".inputs":
+            for name in toks[1:]:
+                signals[name] = aig.add_pi(name)
+        elif toks[0] == ".outputs":
+            outputs.extend(toks[1:])
+        elif toks[0] == ".names":
+            inputs = toks[1:-1]
+            out = toks[-1]
+            cubes: List[str] = []
+            j = i + 1
+            while j < len(tokens_lines) and not tokens_lines[j][0].startswith("."):
+                cubes.append(" ".join(tokens_lines[j]))
+                j += 1
+            signals[out] = _names_to_lit(aig, signals, inputs, cubes)
+            i = j - 1
+        elif toks[0] in (".model", ".end"):
+            pass
+        else:
+            raise ValueError(f"unsupported BLIF construct {toks[0]}")
+        i += 1
+    for name in outputs:
+        if name not in signals:
+            raise ValueError(f"undefined output {name}")
+        aig.add_po(signals[name], name)
+    return aig
+
+
+def _names_to_lit(
+    aig: AIG, signals: Dict[str, int], inputs: List[str], cube_lines: List[str]
+) -> int:
+    for name in inputs:
+        if name not in signals:
+            raise ValueError(f"signal {name} used before definition")
+    if not inputs:
+        # Constant: a line "1" means const1, no lines means const0.
+        return lit_not(CONST0) if any(l.strip() == "1" for l in cube_lines) else CONST0
+    or_terms = []
+    out_is_zero = None
+    for line in cube_lines:
+        parts = line.split()
+        pattern, out_bit = (parts[0], parts[1]) if len(parts) == 2 else ("", parts[0])
+        if out_is_zero is None:
+            out_is_zero = out_bit == "0"
+        elif out_is_zero != (out_bit == "0"):
+            raise ValueError("mixed on-set/off-set .names block")
+        lits = []
+        for ch, name in zip(pattern, inputs):
+            if ch == "1":
+                lits.append(signals[name])
+            elif ch == "0":
+                lits.append(lit_not(signals[name]))
+        or_terms.append(aig.and_many(lits) if lits else lit_not(CONST0))
+    result = aig.or_many(or_terms) if or_terms else CONST0
+    if out_is_zero:
+        result = lit_not(result)
+    return result
+
+
+def cover_to_aig_lit(aig: AIG, cover: Cover, input_lits: List[int]) -> int:
+    """Instantiate an SOP cover over the given input literals."""
+    if cover.is_empty():
+        return CONST0
+    or_terms = []
+    for cube in cover:
+        lits = [
+            input_lits[var] if pol else lit_not(input_lits[var])
+            for var, pol in cube.literals()
+        ]
+        or_terms.append(aig.and_many(lits) if lits else lit_not(CONST0))
+    return aig.or_many(or_terms)

@@ -1,0 +1,98 @@
+"""Bit-parallel simulation and exhaustive truth-table evaluation of AIGs.
+
+Patterns are packed into Python big-ints, one bit per pattern, so a single
+pass simulates thousands of patterns; the same kernel evaluates exhaustive
+truth tables when the PI count is small.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..tt import TruthTable
+from .aig import AIG, lit_neg, lit_var
+
+TT_PI_LIMIT = 18
+"""Exhaustive truth tables are only attempted up to this many PIs."""
+
+
+def simulate(aig: AIG, pi_values: Sequence[int], width: int) -> List[int]:
+    """Simulate ``width`` packed patterns; returns a value word per variable.
+
+    ``pi_values[i]`` is the packed input word for the i-th PI.
+    """
+    if len(pi_values) != aig.num_pis:
+        raise ValueError("one value word per PI required")
+    mask = (1 << width) - 1
+    values = [0] * aig.num_vars
+    for var, word in zip(aig.pis, pi_values):
+        values[var] = word & mask
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = values[lit_var(f0)]
+        if lit_neg(f0):
+            a ^= mask
+        b = values[lit_var(f1)]
+        if lit_neg(f1):
+            b ^= mask
+        values[var] = a & b
+    return values
+
+
+def lit_word(values: Sequence[int], lit: int, width: int) -> int:
+    """Packed value word of a literal given per-variable words."""
+    word = values[lit_var(lit)]
+    if lit_neg(lit):
+        word ^= (1 << width) - 1
+    return word
+
+
+def random_patterns(num_pis: int, width: int, seed: int = 0) -> List[int]:
+    """Deterministic random packed input words."""
+    rng = random.Random(seed)
+    return [rng.getrandbits(width) for _ in range(num_pis)]
+
+
+def simulate_random(aig: AIG, width: int = 2048, seed: int = 0) -> List[int]:
+    """Random simulation convenience wrapper."""
+    return simulate(aig, random_patterns(aig.num_pis, width, seed), width)
+
+
+def node_tts(aig: AIG) -> List[TruthTable]:
+    """Exhaustive truth table of every variable over the PIs.
+
+    Only valid for ``num_pis <= TT_PI_LIMIT``.
+    """
+    n = aig.num_pis
+    if n > TT_PI_LIMIT:
+        raise ValueError(f"too many PIs ({n}) for exhaustive truth tables")
+    width = 1 << n
+    pi_words = [TruthTable.var(i, n).bits for i in range(n)]
+    values = simulate(aig, pi_words, width)
+    return [TruthTable(word, n) for word in values]
+
+
+def po_tts(aig: AIG) -> List[TruthTable]:
+    """Exhaustive truth tables of the primary outputs."""
+    n = aig.num_pis
+    tts = node_tts(aig)
+    out = []
+    for po in aig.pos:
+        t = tts[lit_var(po)]
+        out.append(~t if lit_neg(po) else t)
+    return out
+
+
+def evaluate(aig: AIG, assignment: Sequence[bool]) -> List[bool]:
+    """Evaluate the POs on a single input assignment."""
+    words = [int(b) for b in assignment]
+    values = simulate(aig, words, 1)
+    return [bool(lit_word(values, po, 1)) for po in aig.pos]
+
+
+def counter_example_from_words(
+    pi_values: Sequence[int], bit: int
+) -> List[bool]:
+    """Extract the assignment at pattern index ``bit`` from packed words."""
+    return [bool((word >> bit) & 1) for word in pi_values]

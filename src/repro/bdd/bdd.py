@@ -1,0 +1,284 @@
+"""Reduced ordered BDDs with complement edges.
+
+A function is referenced by ``ref = (node_id << 1) | complement``.  Node 0 is
+the terminal; ``TRUE = 0`` and ``FALSE = 1`` (the complemented terminal).
+Canonical form: the *high* (then) edge of a stored node is never
+complemented.  Variables are ordered by index (level == variable).
+
+Used for exact SPCF representation and exact cube-weight computation on
+small/medium cones, and as an independent oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+TRUE = 0
+FALSE = 1
+
+
+def ref_not(ref: int) -> int:
+    """Complement a function reference."""
+    return ref ^ 1
+
+
+def ref_node(ref: int) -> int:
+    return ref >> 1
+
+
+def ref_complemented(ref: int) -> bool:
+    return bool(ref & 1)
+
+
+class BDD:
+    """A BDD manager (unique table + computed table)."""
+
+    _TERMINAL_LEVEL = 1 << 30
+
+    def __init__(self) -> None:
+        # Parallel node arrays; node 0 is the terminal.
+        self._var: List[int] = [self._TERMINAL_LEVEL]
+        self._high: List[int] = [TRUE]
+        self._low: List[int] = [TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # -- node management -------------------------------------------------------
+
+    def _mk(self, var: int, high: int, low: int) -> int:
+        if high == low:
+            return high
+        # Canonicalize: high edge must be regular.
+        out_neg = False
+        if ref_complemented(high):
+            high = ref_not(high)
+            low = ref_not(low)
+            out_neg = True
+        key = (var, high, low)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._high.append(high)
+            self._low.append(low)
+            self._unique[key] = node
+        ref = node << 1
+        return ref_not(ref) if out_neg else ref
+
+    def var(self, i: int) -> int:
+        """Reference to the projection function ``x_i``."""
+        return self._mk(i, TRUE, FALSE)
+
+    def nvar(self, i: int) -> int:
+        """Reference to ``!x_i``."""
+        return ref_not(self.var(i))
+
+    def level_of(self, ref: int) -> int:
+        return self._var[ref_node(ref)]
+
+    def cofactors(self, ref: int, var: int) -> Tuple[int, int]:
+        """(high, low) cofactors with respect to ``var``."""
+        node = ref_node(ref)
+        if self._var[node] != var:
+            return ref, ref
+        neg = ref & 1
+        return self._high[node] ^ neg, self._low[node] ^ neg
+
+    def size(self) -> int:
+        """Total nodes allocated in the manager."""
+        return len(self._var)
+
+    # -- core ITE ---------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h``."""
+        # Terminal cases.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return ref_not(f)
+        if g == f:
+            g = TRUE
+        elif g == ref_not(f):
+            g = FALSE
+        if h == f:
+            h = FALSE
+        elif h == ref_not(f):
+            h = TRUE
+        # Normalize for cache hits: ensure f regular by output complement.
+        out_neg = False
+        if ref_complemented(g):
+            # ite(f,g,h) = !ite(f,!g,!h)
+            g, h = ref_not(g), ref_not(h)
+            out_neg = True
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return ref_not(cached) if out_neg else cached
+        top = min(self.level_of(f), self.level_of(g), self.level_of(h))
+        f1, f0 = self.cofactors(f, top)
+        g1, g0 = self.cofactors(g, top)
+        h1, h0 = self.cofactors(h, top)
+        r1 = self.ite(f1, g1, h1)
+        r0 = self.ite(f0, g0, h0)
+        result = self._mk(top, r1, r0)
+        self._ite_cache[key] = result
+        return ref_not(result) if out_neg else result
+
+    # -- derived operations -------------------------------------------------------
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, ref_not(g), g)
+
+    def and_many(self, refs: Iterable[int]) -> int:
+        acc = TRUE
+        for r in refs:
+            acc = self.and_(acc, r)
+            if acc == FALSE:
+                break
+        return acc
+
+    def or_many(self, refs: Iterable[int]) -> int:
+        acc = FALSE
+        for r in refs:
+            acc = self.or_(acc, r)
+            if acc == TRUE:
+                break
+        return acc
+
+    def implies(self, f: int, g: int) -> bool:
+        return self.and_(f, ref_not(g)) == FALSE
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor ``f`` with respect to ``x_var = value``."""
+        if self.level_of(f) > var:
+            return f
+        cache: Dict[int, int] = {}
+
+        def rec(r: int) -> int:
+            lvl = self.level_of(r)
+            if lvl > var:
+                return r
+            if r in cache:
+                return cache[r]
+            hi, lo = self.cofactors(r, lvl)
+            if lvl == var:
+                out = hi if value else lo
+            else:
+                out = self._mk(lvl, rec(hi), rec(lo))
+            cache[r] = out
+            return out
+
+        return rec(f)
+
+    def exists(self, f: int, variables: Sequence[int]) -> int:
+        out = f
+        for v in sorted(variables, reverse=True):
+            hi = self.restrict(out, v, True)
+            lo = self.restrict(out, v, False)
+            out = self.or_(hi, lo)
+        return out
+
+    def forall(self, f: int, variables: Sequence[int]) -> int:
+        return ref_not(self.exists(ref_not(f), variables))
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        hi = self.restrict(f, var, True)
+        lo = self.restrict(f, var, False)
+        return self.ite(g, hi, lo)
+
+    # -- queries --------------------------------------------------------------------
+
+    def support(self, f: int) -> List[int]:
+        seen = set()
+        sup = set()
+        stack = [ref_node(f)]
+        while stack:
+            node = stack.pop()
+            if node in seen or node == 0:
+                continue
+            seen.add(node)
+            sup.add(self._var[node])
+            stack.append(ref_node(self._high[node]))
+            stack.append(ref_node(self._low[node]))
+        return sorted(sup)
+
+    def eval(self, f: int, assignment: Dict[int, bool]) -> bool:
+        ref = f
+        while ref_node(ref) != 0:
+            node = ref_node(ref)
+            value = assignment.get(self._var[node], False)
+            nxt = self._high[node] if value else self._low[node]
+            ref = nxt ^ (ref & 1)
+        return not ref_complemented(ref)
+
+    def sat_count(self, f: int, nvars: int) -> int:
+        """Number of satisfying minterms over ``nvars`` variables (0..nvars-1)."""
+        cache: Dict[int, int] = {}
+        full = 1 << nvars
+
+        def count(ref: int) -> int:
+            """Exact on-set size of ``ref`` over the full nvars space."""
+            if ref == TRUE:
+                return full
+            if ref == FALSE:
+                return 0
+            if ref in cache:
+                return cache[ref]
+            node = ref_node(ref)
+            hi = self._high[node] ^ (ref & 1)
+            lo = self._low[node] ^ (ref & 1)
+            # f = x·hi + !x·lo with hi, lo independent of x, so the sum
+            # below is even and the halving is exact.
+            out = (count(hi) + count(lo)) // 2
+            cache[ref] = out
+            return out
+
+        if self.level_of(f) < self._TERMINAL_LEVEL and self.level_of(f) >= nvars:
+            raise ValueError("function depends on variables beyond nvars")
+        return count(f)
+
+    def pick_one(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment over the support, or None if UNSAT."""
+        if f == FALSE:
+            return None
+        out: Dict[int, bool] = {}
+        ref = f
+        while ref_node(ref) != 0:
+            node = ref_node(ref)
+            hi = self._high[node] ^ (ref & 1)
+            lo = self._low[node] ^ (ref & 1)
+            if hi != FALSE:
+                out[self._var[node]] = True
+                ref = hi
+            else:
+                out[self._var[node]] = False
+                ref = lo
+        return out
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct nodes in the DAG of ``f`` (terminal included)."""
+        seen = set()
+        stack = [ref_node(f)]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node != 0:
+                stack.append(ref_node(self._high[node]))
+                stack.append(ref_node(self._low[node]))
+        return len(seen)

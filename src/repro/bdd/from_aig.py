@@ -1,0 +1,61 @@
+"""Building BDDs from AIG cones."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..aig import AIG, lit_neg, lit_var
+from .bdd import BDD, FALSE, ref_not
+
+
+def aig_to_bdd(
+    bdd: BDD,
+    aig: AIG,
+    roots: Sequence[int],
+    pi_refs: Optional[Dict[int, int]] = None,
+    size_limit: Optional[int] = None,
+) -> Optional[List[int]]:
+    """BDD references for the given AIG root literals.
+
+    ``pi_refs`` maps PI *variables* to BDD references; by default PI number
+    ``i`` maps to BDD variable ``i``.  Returns None if ``size_limit`` BDD
+    nodes would be exceeded (caller falls back to another SPCF method).
+    """
+    refs: Dict[int, int] = {0: FALSE}
+    if pi_refs is None:
+        for i, pi in enumerate(aig.pis):
+            refs[pi] = bdd.var(i)
+    else:
+        refs.update(pi_refs)
+    order = _cone_order(aig, roots)
+    for var in order:
+        f0, f1 = aig.fanins(var)
+        a = refs[lit_var(f0)]
+        if lit_neg(f0):
+            a = ref_not(a)
+        b = refs[lit_var(f1)]
+        if lit_neg(f1):
+            b = ref_not(b)
+        refs[var] = bdd.and_(a, b)
+        if size_limit is not None and bdd.size() > size_limit:
+            return None
+    out = []
+    for lit in roots:
+        r = refs[lit_var(lit)]
+        out.append(ref_not(r) if lit_neg(lit) else r)
+    return out
+
+
+def _cone_order(aig: AIG, roots: Iterable[int]) -> List[int]:
+    """AND variables of the root cones in topological order."""
+    needed = set()
+    stack = [lit_var(r) for r in roots]
+    while stack:
+        v = stack.pop()
+        if v in needed or not aig.is_and(v):
+            continue
+        needed.add(v)
+        f0, f1 = aig.fanins(v)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return [v for v in aig.and_vars() if v in needed]

@@ -1,0 +1,7 @@
+"""Benchmark circuit suite (Table 2 stand-ins)."""
+
+from . import blocks
+from .fabric import control_fabric
+from .circuits import BENCHMARKS
+
+__all__ = ["blocks", "control_fabric", "BENCHMARKS"]

@@ -1,0 +1,201 @@
+"""Structured logic building blocks for the benchmark stand-ins.
+
+These blocks give the generated circuits the character the paper targets:
+long sensitizable chains (priority encoders, ripple comparators, carry
+chains), wide decodes, shared logic, and multiple near-critical paths.
+All functions take an :class:`~repro.aig.AIG` under construction plus
+input literals and return output literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..aig import AIG, CONST0, CONST1, lit_not
+
+
+def priority_grant(aig: AIG, requests: Sequence[int]) -> List[int]:
+    """One-hot grant for the lowest-index asserted request (serial chain)."""
+    grants = []
+    none_before = CONST1
+    for req in requests:
+        grants.append(aig.and_(req, none_before))
+        none_before = aig.and_(none_before, lit_not(req))
+    return grants
+
+
+def priority_valid(aig: AIG, requests: Sequence[int]) -> int:
+    """Any-request flag."""
+    return aig.or_many(list(requests))
+
+
+def encode_onehot(aig: AIG, onehot: Sequence[int], width: int) -> List[int]:
+    """Binary encoding of a one-hot vector (OR of selected lines)."""
+    outs = []
+    for bit in range(width):
+        terms = [g for i, g in enumerate(onehot) if (i >> bit) & 1]
+        outs.append(aig.or_many(terms) if terms else CONST0)
+    return outs
+
+
+def ripple_compare(
+    aig: AIG, a: Sequence[int], b: Sequence[int]
+) -> Tuple[int, int]:
+    """(equal, a_less_than_b) via a serial scan from the MSB."""
+    eq = CONST1
+    lt = CONST0
+    for ai, bi in zip(reversed(list(a)), reversed(list(b))):
+        bit_eq = aig.xnor_(ai, bi)
+        bit_lt = aig.and_(lit_not(ai), bi)
+        lt = aig.or_(lt, aig.and_(eq, bit_lt))
+        eq = aig.and_(eq, bit_eq)
+    return eq, lt
+
+
+def ripple_add(
+    aig: AIG, a: Sequence[int], b: Sequence[int], cin: int = CONST0
+) -> Tuple[List[int], int]:
+    """Ripple-carry sum (the deliberate long chain of the stand-ins)."""
+    sums = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        axb = aig.xor_(ai, bi)
+        sums.append(aig.xor_(axb, carry))
+        carry = aig.or_(aig.and_(ai, bi), aig.and_(axb, carry))
+    return sums, carry
+
+
+def parity_tree(aig: AIG, bits: Sequence[int]) -> int:
+    """Balanced XOR tree."""
+    return aig.xor_many(list(bits))
+
+
+def decoder(aig: AIG, sel: Sequence[int]) -> List[int]:
+    """Full binary decoder: 2**len(sel) one-hot outputs."""
+    outs = []
+    for value in range(1 << len(sel)):
+        terms = [
+            s if (value >> i) & 1 else lit_not(s)
+            for i, s in enumerate(sel)
+        ]
+        outs.append(aig.and_many(terms))
+    return outs
+
+
+def mux_tree(aig: AIG, sel: Sequence[int], inputs: Sequence[int]) -> int:
+    """Select ``inputs[sel]`` through a binary multiplexer tree."""
+    values = list(inputs)
+    need = 1 << len(sel)
+    while len(values) < need:
+        values.append(CONST0)
+    for s in sel:
+        values = [
+            aig.mux_(s, values[i + 1], values[i])
+            for i in range(0, len(values) - 1, 2)
+        ] or [CONST0]
+    return values[0]
+
+
+def rotate_left(
+    aig: AIG, data: Sequence[int], amount: Sequence[int]
+) -> List[int]:
+    """Barrel rotator: logarithmic stages of 2**i rotations."""
+    word = list(data)
+    n = len(word)
+    for i, sel in enumerate(amount):
+        shift = (1 << i) % n
+        rotated = word[-shift:] + word[:-shift] if shift else list(word)
+        word = [
+            aig.mux_(sel, r, w) for r, w in zip(rotated, word)
+        ]
+    return word
+
+
+def cam_match(
+    aig: AIG, key: Sequence[int], entry: Sequence[int], valid: int
+) -> int:
+    """Match line of one CAM entry."""
+    eq_bits = [aig.xnor_(k, e) for k, e in zip(key, entry)]
+    return aig.and_(valid, aig.and_many(eq_bits))
+
+
+def alu_slice(
+    aig: AIG,
+    a: Sequence[int],
+    b: Sequence[int],
+    op: Sequence[int],
+    cin: int = CONST0,
+) -> Tuple[List[int], int]:
+    """A small ALU: add/and/or/xor selected by two op bits.
+
+    Returns (result bits, carry-out).  The adder path is a ripple chain.
+    """
+    sums, cout = ripple_add(aig, a, b, cin)
+    result = []
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        and_ = aig.and_(ai, bi)
+        or_ = aig.or_(ai, bi)
+        xor_ = aig.xor_(ai, bi)
+        low = aig.mux_(op[0], and_, sums[i])
+        high = aig.mux_(op[0], xor_, or_)
+        result.append(aig.mux_(op[1], high, low))
+    return result, cout
+
+
+def hamming_positions(data_bits: int) -> Tuple[int, List[int]]:
+    """Number of Hamming check bits and the data-bit coverage masks."""
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    # Position data bits at non-power-of-two codeword positions.
+    positions = []
+    pos = 1
+    while len(positions) < data_bits:
+        if pos & (pos - 1):  # not a power of two
+            positions.append(pos)
+        pos += 1
+    return r, positions
+
+
+def hamming_checks(aig: AIG, data: Sequence[int]) -> List[int]:
+    """Hamming check bits (even parity groups) over the data word."""
+    r, positions = hamming_positions(len(data))
+    checks = []
+    for j in range(r):
+        group = [
+            d for d, pos in zip(data, positions) if (pos >> j) & 1
+        ]
+        checks.append(parity_tree(aig, group) if group else CONST0)
+    return checks
+
+
+def secded_correct(
+    aig: AIG, data: Sequence[int], checks: Sequence[int]
+) -> Tuple[List[int], List[int], int, int]:
+    """Single-error-correct / double-error-detect decode.
+
+    Returns (corrected data, syndrome, single_error, double_error); the
+    last check bit is treated as the overall parity.
+    """
+    r, positions = hamming_positions(len(data))
+    recomputed = hamming_checks(aig, data)
+    syndrome = [
+        aig.xor_(c, rc) for c, rc in zip(checks[:r], recomputed)
+    ]
+    overall = parity_tree(
+        aig, list(data) + list(checks[:r])
+    )
+    overall = aig.xor_(overall, checks[r]) if len(checks) > r else overall
+    syndrome_nonzero = aig.or_many(syndrome)
+    single_error = aig.and_(syndrome_nonzero, overall)
+    double_error = aig.and_(syndrome_nonzero, lit_not(overall))
+    corrected = []
+    for d, pos in zip(data, positions):
+        is_here = aig.and_many(
+            [
+                syndrome[j] if (pos >> j) & 1 else lit_not(syndrome[j])
+                for j in range(r)
+            ]
+        )
+        corrected.append(aig.xor_(d, aig.and_(is_here, single_error)))
+    return corrected, syndrome, single_error, double_error

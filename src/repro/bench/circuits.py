@@ -1,0 +1,224 @@
+"""The 15 Table 2 benchmark circuits (functional stand-ins).
+
+The MCNC/ISCAS-85 netlists and the OpenSPARC T1 RTL are not available
+offline, so each circuit is a deterministic functional stand-in with the
+paper's PI/PO counts and the same flavor of logic (see DESIGN.md §3.11).
+ISCAS stand-ins implement the documented function class of the original
+(priority interrupt control, ALUs, SECDED); the MCNC ``rot``/``dalu`` are a
+barrel rotator and a dedicated ALU; ``i10`` and the OpenSPARC control
+blocks use the seeded control fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..aig import AIG, CONST0, lit_not
+from . import blocks
+from .fabric import control_fabric
+
+
+def rot() -> AIG:
+    """MCNC ``rot`` stand-in: 96-bit barrel rotator + status, 135/107."""
+    aig = AIG()
+    data = [aig.add_pi(f"d{i}") for i in range(96)]
+    amount = [aig.add_pi(f"amt{i}") for i in range(6)]
+    ctrl = [aig.add_pi(f"c{i}") for i in range(33)]
+    rotated = blocks.rotate_left(aig, data, amount)
+    # Mask the rotated word with a control-derived enable per 3-bit group.
+    masked = []
+    for i, bit in enumerate(rotated):
+        en = ctrl[i % 33]
+        masked.append(aig.and_(bit, aig.or_(en, ctrl[(i + 7) % 33])))
+    for i in range(96):
+        aig.add_po(masked[i], f"q{i}")
+    # 11 status flags: segment parities, zero-detects, and a compare.
+    for seg in range(4):
+        aig.add_po(
+            blocks.parity_tree(aig, masked[24 * seg : 24 * (seg + 1)]),
+            f"par{seg}",
+        )
+    for seg in range(4):
+        aig.add_po(
+            lit_not(aig.or_many(masked[24 * seg : 24 * (seg + 1)])),
+            f"zero{seg}",
+        )
+    eq, lt = blocks.ripple_compare(aig, masked[:16], masked[16:32])
+    aig.add_po(eq, "eq")
+    aig.add_po(lt, "lt")
+    aig.add_po(aig.or_many(ctrl), "active")
+    assert aig.num_pis == 135 and aig.num_pos == 107
+    return aig
+
+
+def dalu() -> AIG:
+    """MCNC ``dalu`` stand-in: dedicated 16-bit ALU, 75/16."""
+    aig = AIG()
+    a = [aig.add_pi(f"a{i}") for i in range(16)]
+    b = [aig.add_pi(f"b{i}") for i in range(16)]
+    c = [aig.add_pi(f"c{i}") for i in range(16)]
+    op = [aig.add_pi(f"op{i}") for i in range(2)]
+    mode = [aig.add_pi(f"mode{i}") for i in range(9)]
+    sel = [aig.add_pi(f"sel{i}") for i in range(2)]
+    ctrl = [aig.add_pi(f"ctl{i}") for i in range(13)]
+    cin = aig.add_pi("cin")
+    alu_out, cout = blocks.alu_slice(aig, a, b, op, cin)
+    # Second stage folds in the c operand under mode/select control.
+    result = []
+    for i in range(16):
+        folded = aig.mux_(mode[i % 9], aig.xor_(alu_out[i], c[i]), alu_out[i])
+        alt = blocks.mux_tree(
+            aig, sel, [folded, c[i], alu_out[i], ctrl[i % 13]]
+        )
+        gated = aig.and_(alt, aig.or_(ctrl[(i + 3) % 13], cout))
+        result.append(gated)
+    for i, bit in enumerate(result):
+        aig.add_po(bit, f"f{i}")
+    assert aig.num_pis == 75 and aig.num_pos == 16
+    return aig
+
+
+def i10() -> AIG:
+    """MCNC ``i10`` stand-in: large irregular control fabric, 257/224."""
+    return control_fabric("i10", 257, 224, seed=0x110, blocks_per_po=0.35)
+
+
+def c432() -> AIG:
+    """ISCAS C432 stand-in: 27-channel priority interrupt controller, 36/7."""
+    aig = AIG()
+    requests = [aig.add_pi(f"req{i}") for i in range(27)]
+    enables = [aig.add_pi(f"en{i}") for i in range(9)]
+    # Channel i is gated by its group enable (3 groups of 9).
+    gated = [
+        aig.and_(requests[i], enables[i % 9]) for i in range(27)
+    ]
+    grants = blocks.priority_grant(aig, gated)
+    code = blocks.encode_onehot(aig, grants, 5)
+    for i, bit in enumerate(code):
+        aig.add_po(bit, f"code{i}")
+    aig.add_po(blocks.priority_valid(aig, gated), "valid")
+    aig.add_po(blocks.parity_tree(aig, gated), "parity")
+    assert aig.num_pis == 36 and aig.num_pos == 7
+    return aig
+
+
+def c880() -> AIG:
+    """ISCAS C880 stand-in: 16-bit ALU with control, 60/26."""
+    aig = AIG()
+    a = [aig.add_pi(f"a{i}") for i in range(16)]
+    b = [aig.add_pi(f"b{i}") for i in range(16)]
+    op = [aig.add_pi(f"op{i}") for i in range(2)]
+    mask = [aig.add_pi(f"m{i}") for i in range(16)]
+    misc = [aig.add_pi(f"x{i}") for i in range(9)]
+    cin = aig.add_pi("cin")
+    alu_out, cout = blocks.alu_slice(aig, a, b, op, cin)
+    result = [aig.and_(o, m) for o, m in zip(alu_out, mask)]
+    for i, bit in enumerate(result):
+        aig.add_po(bit, f"f{i}")
+    aig.add_po(cout, "cout")
+    aig.add_po(blocks.parity_tree(aig, result), "parity")
+    eq, lt = blocks.ripple_compare(aig, result[:8], result[8:])
+    aig.add_po(eq, "eq")
+    aig.add_po(lt, "lt")
+    grants = blocks.priority_grant(aig, misc)
+    code = blocks.encode_onehot(aig, grants, 4)
+    for i, bit in enumerate(code):
+        aig.add_po(bit, f"g{i}")
+    aig.add_po(aig.or_many(misc), "any")
+    aig.add_po(aig.and_(cout, aig.or_many(mask)), "ovf")
+    assert aig.num_pis == 60 and aig.num_pos == 26
+    return aig
+
+
+def c1908() -> AIG:
+    """ISCAS C1908 stand-in: 16-bit SECDED corrector, 33/25."""
+    aig = AIG()
+    data = [aig.add_pi(f"d{i}") for i in range(16)]
+    checks = [aig.add_pi(f"p{i}") for i in range(6)]
+    ctrl = [aig.add_pi(f"c{i}") for i in range(11)]
+    corrected, syndrome, single, double = blocks.secded_correct(
+        aig, data, checks
+    )
+    enable = aig.or_many(ctrl[:4])
+    for i, bit in enumerate(corrected):
+        aig.add_po(aig.and_(bit, enable), f"q{i}")
+    for i, bit in enumerate(syndrome):
+        aig.add_po(bit, f"s{i}")
+    aig.add_po(single, "sbe")
+    aig.add_po(double, "dbe")
+    aig.add_po(aig.and_(single, blocks.parity_tree(aig, ctrl)), "trap")
+    aig.add_po(lit_not(aig.or_(single, double)), "ok")
+    assert aig.num_pis == 33 and aig.num_pos == 25
+    return aig
+
+
+def c3540() -> AIG:
+    """ISCAS C3540 stand-in: 8-bit two-mode ALU, 50/22."""
+    aig = AIG()
+    a = [aig.add_pi(f"a{i}") for i in range(8)]
+    b = [aig.add_pi(f"b{i}") for i in range(8)]
+    op = [aig.add_pi(f"op{i}") for i in range(2)]
+    mode = [aig.add_pi(f"mode{i}") for i in range(8)]
+    mask = [aig.add_pi(f"m{i}") for i in range(8)]
+    ctrl = [aig.add_pi(f"c{i}") for i in range(15)]
+    cin = aig.add_pi("cin")
+    alu_out, cout = blocks.alu_slice(aig, a, b, op, cin)
+    # Second "BCD-adjust-like" conditional increment chain.
+    adjust = aig.and_(cout, aig.or_many(mode))
+    adj_vec = [aig.and_(adjust, m) for m in mode]
+    adjusted, cout2 = blocks.ripple_add(aig, alu_out, adj_vec)
+    result = [aig.and_(x, m) for x, m in zip(adjusted, mask)]
+    for i, bit in enumerate(result):
+        aig.add_po(bit, f"f{i}")
+    for i, bit in enumerate(alu_out):
+        aig.add_po(aig.and_(bit, ctrl[i]), f"r{i}")
+    aig.add_po(cout, "cout")
+    aig.add_po(cout2, "cadj")
+    aig.add_po(blocks.parity_tree(aig, result), "parity")
+    eq, lt = blocks.ripple_compare(aig, result, alu_out)
+    aig.add_po(eq, "eq")
+    aig.add_po(lt, "lt")
+    aig.add_po(aig.or_many(ctrl), "any")
+    assert aig.num_pis == 50 and aig.num_pos == 22
+    return aig
+
+
+def _sparc(name: str, n_pi: int, n_po: int, seed: int, **kw) -> Callable[[], AIG]:
+    def gen() -> AIG:
+        return control_fabric(name, n_pi, n_po, seed, **kw)
+
+    gen.__name__ = name
+    gen.__doc__ = (
+        f"OpenSPARC T1 ``{name}`` stand-in control fabric, {n_pi}/{n_po}."
+    )
+    return gen
+
+
+sparc_exu_ecl_flat = _sparc("sparc_exu_ecl_flat", 572, 120, 0xEC1, blocks_per_po=0.35)
+lsu_stb_ctl_flat = _sparc("lsu_stb_ctl_flat", 182, 60, 0x57B)
+sparc_ifu_dcl_flat = _sparc("sparc_ifu_dcl_flat", 136, 40, 0xDC1)
+sparc_ifu_dec_flat = _sparc("sparc_ifu_dec_flat", 131, 50, 0xDEC)
+lsu_excpctl_flat = _sparc("lsu_excpctl_flat", 251, 70, 0xE8C, chain_len=16)
+sparc_tlu_intctl_flat = _sparc("sparc_tlu_intctl_flat", 82, 30, 0x117)
+sparc_ifu_fcl_flat = _sparc("sparc_ifu_fcl_flat", 465, 100, 0xFC1, blocks_per_po=0.4)
+tlu_hyperv_flat = _sparc("tlu_hyperv_flat", 449, 90, 0x477, chain_len=14)
+
+
+BENCHMARKS: Dict[str, Callable[[], AIG]] = {
+    "rot": rot,
+    "dalu": dalu,
+    "i10": i10,
+    "C432": c432,
+    "C880": c880,
+    "C1908": c1908,
+    "C3540": c3540,
+    "sparc_exu_ecl_flat": sparc_exu_ecl_flat,
+    "lsu_stb_ctl_flat": lsu_stb_ctl_flat,
+    "sparc_ifu_dcl_flat": sparc_ifu_dcl_flat,
+    "sparc_ifu_dec_flat": sparc_ifu_dec_flat,
+    "lsu_excpctl_flat": lsu_excpctl_flat,
+    "sparc_tlu_intctl_flat": sparc_tlu_intctl_flat,
+    "sparc_ifu_fcl_flat": sparc_ifu_fcl_flat,
+    "tlu_hyperv_flat": tlu_hyperv_flat,
+}
+"""The 15 Table 2 circuits by paper name."""

@@ -1,0 +1,93 @@
+"""Parametric control-logic fabric generator.
+
+Used for the MCNC circuit ``i10`` and the OpenSPARC T1 control blocks, whose
+netlists are unavailable offline: a seeded, deterministic mix of priority
+chains, ripple comparators, CAM matches, decodes, parities, and mux trees
+over shared input slices — irregular multi-level control logic with long
+sensitizable chains and heavy logic sharing, the regime the paper targets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..aig import AIG, lit_not
+from . import blocks
+
+
+def _slice(rng: random.Random, pool: List[int], n: int) -> List[int]:
+    """A random (with replacement-free preference) slice of signals."""
+    n = min(n, len(pool))
+    return rng.sample(pool, n)
+
+
+def control_fabric(
+    name: str,
+    n_pi: int,
+    n_po: int,
+    seed: int,
+    blocks_per_po: float = 0.6,
+    chain_len: int = 12,
+) -> AIG:
+    """Build a control fabric with exactly ``n_pi`` PIs and ``n_po`` POs."""
+    rng = random.Random(seed)
+    aig = AIG()
+    pis = [aig.add_pi(f"{name}_in{i}") for i in range(n_pi)]
+    pool: List[int] = list(pis)
+    products: List[int] = []
+
+    n_blocks = max(4, int(n_po * blocks_per_po))
+    for b in range(n_blocks):
+        kind = rng.randrange(6)
+        if kind == 0:
+            reqs = _slice(rng, pool, rng.randint(chain_len // 2, chain_len))
+            grants = blocks.priority_grant(aig, reqs)
+            products.extend(grants[-3:])
+            products.append(blocks.priority_valid(aig, reqs))
+        elif kind == 1:
+            w = rng.randint(4, chain_len // 2 + 4)
+            a = _slice(rng, pool, w)
+            bvec = _slice(rng, pool, w)
+            eq, lt = blocks.ripple_compare(aig, a, bvec)
+            products.extend([eq, lt])
+        elif kind == 2:
+            w = rng.randint(4, chain_len // 2 + 4)
+            a = _slice(rng, pool, w)
+            bvec = _slice(rng, pool, w)
+            sums, cout = blocks.ripple_add(aig, a, bvec)
+            products.append(cout)
+            products.extend(sums[-2:])
+        elif kind == 3:
+            key = _slice(rng, pool, 6)
+            entry = _slice(rng, pool, 6)
+            valid = rng.choice(pool)
+            products.append(blocks.cam_match(aig, key, entry, valid))
+        elif kind == 4:
+            sel = _slice(rng, pool, 3)
+            lines = blocks.decoder(aig, sel)
+            gate = rng.choice(pool)
+            products.extend(aig.and_(l, gate) for l in lines[:4])
+        else:
+            bits = _slice(rng, pool, rng.randint(5, 9))
+            products.append(blocks.parity_tree(aig, bits))
+        # Fold a little of the new logic back into the shared pool.
+        pool.extend(products[-2:])
+
+    # Glue layer: random gates over products + PIs for sharing/irregularity.
+    glue: List[int] = []
+    for _ in range(2 * n_po):
+        a = rng.choice(products) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        op = rng.choice(["and_", "or_", "xor_"])
+        glue.append(getattr(aig, op)(a, b))
+    candidates = products + glue
+
+    for i in range(n_po):
+        sel = _slice(rng, pis, 2)
+        choices = [rng.choice(candidates) for _ in range(4)]
+        out = blocks.mux_tree(aig, sel, choices)
+        extra = rng.choice(candidates)
+        out = aig.or_(out, aig.and_(extra, rng.choice(pis)))
+        aig.add_po(out, f"{name}_out{i}")
+    return aig

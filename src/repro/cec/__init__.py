@@ -1,0 +1,15 @@
+"""Combinational equivalence checking."""
+
+from .equiv import (
+    EquivalenceResult,
+    assert_equivalent,
+    check_equivalence,
+    lits_equivalent,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "assert_equivalent",
+    "check_equivalence",
+    "lits_equivalent",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: optimize and map circuits from files.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro stats   circuit.aag
+    python -m repro optimize circuit.aag -o out.aag --flow lookahead
+    python -m repro map     circuit.aag -o out.v
+    python -m repro bench   --circuit C432
+
+Input formats: ASCII AIGER (.aag) and BLIF (.blif); outputs AIGER, BLIF,
+or gate-level Verilog (by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .aig import AIG, depth, read_aag, read_blif, write_aag, write_blif
+from .cec import check_equivalence
+from .core import LookaheadOptimizer, lookahead_flow
+from .mapping import dynamic_power_uw, map_aig, mapped_delay
+from .mapping.verilog import write_verilog
+from .opt import abc_resyn2rs, dc_map_effort_high, sis_best
+
+FLOWS: Dict[str, Callable[[AIG], AIG]] = {
+    "lookahead": lookahead_flow,
+    "lookahead-only": lambda a: LookaheadOptimizer(max_rounds=12).optimize(a),
+    "sis": sis_best,
+    "abc": abc_resyn2rs,
+    "dc": dc_map_effort_high,
+}
+
+
+def _read_circuit(path: str) -> AIG:
+    with open(path) as fh:
+        if path.endswith(".blif"):
+            return read_blif(fh)
+        return read_aag(fh)
+
+
+def _write_circuit(aig: AIG, path: str) -> None:
+    with open(path, "w") as fh:
+        if path.endswith(".blif"):
+            write_blif(aig, fh)
+        else:
+            write_aag(aig, fh)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    aig = _read_circuit(args.input)
+    print(f"inputs : {aig.num_pis}")
+    print(f"outputs: {aig.num_pos}")
+    print(f"ands   : {aig.num_ands()}")
+    print(f"levels : {depth(aig)}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    aig = _read_circuit(args.input)
+    flow = FLOWS[args.flow]
+    start = time.time()
+    optimized = flow(aig)
+    elapsed = time.time() - start
+    if not args.no_verify:
+        if not check_equivalence(aig, optimized):
+            print("ERROR: optimized circuit is not equivalent", file=sys.stderr)
+            return 1
+    print(
+        f"{args.flow}: ands {aig.num_ands()} -> {optimized.num_ands()}, "
+        f"levels {depth(aig)} -> {depth(optimized)} ({elapsed:.1f}s)"
+    )
+    if args.output:
+        _write_circuit(optimized, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    aig = _read_circuit(args.input)
+    netlist = map_aig(aig)
+    print(
+        f"mapped: {netlist.num_gates} gates, area {netlist.area:.1f}, "
+        f"delay {mapped_delay(netlist):.0f} ps, "
+        f"power {dynamic_power_uw(netlist):.1f} uW @1GHz"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            write_verilog(netlist, fh)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import BENCHMARKS
+
+    names = [args.circuit] if args.circuit else list(BENCHMARKS)
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"unknown circuit {name!r}; available: "
+                  + ", ".join(BENCHMARKS), file=sys.stderr)
+            return 1
+        aig = BENCHMARKS[name]()
+        print(
+            f"{name:24s} {aig.num_pis:4d}/{aig.num_pos:4d} "
+            f"ands {aig.num_ands():5d} levels {depth(aig):3d}"
+        )
+        if args.output_dir:
+            path = f"{args.output_dir}/{name}.aag"
+            _write_circuit(aig, path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lookahead logic synthesis (DAC 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print circuit statistics")
+    p_stats.add_argument("input")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_opt = sub.add_parser("optimize", help="run an optimization flow")
+    p_opt.add_argument("input")
+    p_opt.add_argument("-o", "--output")
+    p_opt.add_argument("--flow", choices=sorted(FLOWS), default="lookahead")
+    p_opt.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the post-optimization equivalence check",
+    )
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_map = sub.add_parser("map", help="technology-map to the 70nm library")
+    p_map.add_argument("input")
+    p_map.add_argument("-o", "--output", help="gate-level Verilog output")
+    p_map.set_defaults(func=cmd_map)
+
+    p_bench = sub.add_parser("bench", help="list/emit benchmark circuits")
+    p_bench.add_argument("--circuit")
+    p_bench.add_argument("--output-dir")
+    p_bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

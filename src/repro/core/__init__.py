@@ -1,0 +1,64 @@
+"""The paper's contribution: lookahead logic circuit synthesis."""
+
+from .spcf import (
+    Spcf,
+    spcf_exact_bdd,
+    pack_signature,
+    spcf_exact_tt,
+    spcf_overapprox_tt,
+    spcf_signature,
+    timed_simulation,
+    unpack_patterns,
+)
+from .model import BddBlowup, BddModel, ExactModel, SignatureModel
+from .simplify import SimplifyOutcome, simplify_node
+from .reduce import PrimaryResult, build_sigma, primary_reduce
+from .secondary import ExactCareChecker, SatCareChecker, secondary_simplify
+from .reconstruct import TEMPLATES, applicable_rules, build_ite, reconstruct
+from .area_recovery import remove_redundant_edges, sat_sweep
+from .sdc import sdc_minimize
+from .analysis import OutputReport, RoundReport, analyze_round, print_round_report
+from .flow import lookahead_flow
+from .lookahead import (
+    TT_MODE_PI_LIMIT,
+    LookaheadOptimizer,
+    optimize_lookahead,
+)
+
+__all__ = [
+    "Spcf",
+    "spcf_exact_bdd",
+    "pack_signature",
+    "spcf_exact_tt",
+    "spcf_overapprox_tt",
+    "spcf_signature",
+    "timed_simulation",
+    "unpack_patterns",
+    "BddBlowup",
+    "BddModel",
+    "ExactModel",
+    "SignatureModel",
+    "SimplifyOutcome",
+    "simplify_node",
+    "PrimaryResult",
+    "build_sigma",
+    "primary_reduce",
+    "ExactCareChecker",
+    "SatCareChecker",
+    "secondary_simplify",
+    "TEMPLATES",
+    "applicable_rules",
+    "build_ite",
+    "reconstruct",
+    "remove_redundant_edges",
+    "sat_sweep",
+    "TT_MODE_PI_LIMIT",
+    "LookaheadOptimizer",
+    "lookahead_flow",
+    "sdc_minimize",
+    "OutputReport",
+    "RoundReport",
+    "analyze_round",
+    "print_round_report",
+    "optimize_lookahead",
+]

@@ -1,0 +1,185 @@
+"""Area recovery via standard redundancy elimination.
+
+After reconstruction the paper runs "standard redundancy elimination
+algorithms"; we implement SAT sweeping — merging simulation-equivalent
+node classes after SAT proofs, including constant detection — followed by
+structural cleanup (``AIG.extract``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..aig import (
+    AIG,
+    CONST0,
+    lit_neg,
+    lit_not,
+    lit_notif,
+    lit_var,
+    random_patterns,
+    simulate,
+)
+from ..sat.cnf import AigCnf
+
+
+def sat_sweep(
+    aig: AIG,
+    sim_width: int = 1024,
+    seed: int = 0,
+    max_pairs: int = 5000,
+    max_conflicts: int = 300,
+    size_limit: int = 6000,
+) -> AIG:
+    """Merge functionally equivalent internal nodes (SAT-proved).
+
+    Simulation partitions nodes into candidate classes (up to complement);
+    each candidate merge is proved by an incremental SAT query (bounded by
+    ``max_conflicts``; unknown means no merge) before being applied.
+    Circuits beyond ``size_limit`` AND nodes are only cleaned structurally.
+    Returns a rebuilt, cleaned AIG.
+    """
+    if aig.num_ands() > size_limit:
+        return aig.extract()
+    mask = (1 << sim_width) - 1
+    patterns = random_patterns(aig.num_pis, sim_width, seed)
+    values = simulate(aig, patterns, sim_width)
+    # Candidate classes keyed by polarity-canonical signature.
+    classes: Dict[int, List[int]] = {}
+    for var in range(aig.num_vars):
+        if var != 0 and not aig.is_and(var):
+            continue  # keep PIs out of merging
+        sig = values[var] & mask
+        key = min(sig, sig ^ mask)
+        classes.setdefault(key, []).append(var)
+
+    enc: Optional[AigCnf] = None
+    var_map: Dict[int, int] = {}
+
+    def prove_equal(v1: int, v2: int, complemented: bool) -> bool:
+        nonlocal enc, var_map
+        if enc is None:
+            enc = AigCnf()
+            var_map = enc.encode(aig)
+        s1 = var_map[v1]
+        s2 = var_map[v2]
+        if complemented:
+            s2 = -s2
+        enc.solver.reset()
+        x = enc.add_xor(s1, s2)
+        result = enc.solver.solve([x], max_conflicts=max_conflicts)
+        enc.solver.reset()
+        return result is False
+
+    # representative literal for each merged variable.
+    replacement: Dict[int, int] = {}
+    pairs_checked = 0
+    for key, members in classes.items():
+        if len(members) < 2:
+            continue
+        rep = members[0]
+        rep_sig = values[rep] & mask
+        for var in members[1:]:
+            if pairs_checked >= max_pairs:
+                break
+            pairs_checked += 1
+            complemented = (values[var] & mask) != rep_sig
+            if prove_equal(rep, var, complemented):
+                replacement[var] = lit_notif(rep * 2, complemented)
+
+    if not replacement:
+        return aig.extract()
+
+    # Rebuild with replacements applied (reps have smaller ids, hence are
+    # rebuilt before their members in topological order).  A merge is only
+    # taken when the representative is no deeper than the node it replaces,
+    # so area recovery never undoes a depth gain.
+    dest = AIG()
+    new_level: List[int] = []
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+
+    def mapped(lit: int) -> int:
+        return lit_notif(mapping[lit_var(lit)], lit_neg(lit))
+
+    def level_of(lit: int) -> int:
+        var = lit_var(lit)
+        while len(new_level) < dest.num_vars:
+            v = len(new_level)
+            if dest.is_and(v):
+                g0, g1 = dest.fanins(v)
+                new_level.append(
+                    1 + max(new_level[lit_var(g0)], new_level[lit_var(g1)])
+                )
+            else:
+                new_level.append(0)
+        return new_level[var]
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        own = dest.and_(mapped(f0), mapped(f1))
+        target = replacement.get(var)
+        if target is not None and level_of(mapped(target)) <= level_of(own):
+            mapping[var] = mapped(target)
+        else:
+            mapping[var] = own
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(mapped(po), name)
+    return dest.extract()
+
+
+def remove_redundant_edges(
+    aig: AIG, max_checks: int = 2000, sim_width: int = 512, seed: int = 1
+) -> AIG:
+    """Stuck-at-untestability-based edge removal (classic redundancy removal).
+
+    An AND fan-in whose stuck-at-1 fault is untestable can be replaced by
+    constant 1 (dropping the edge).  Checks are SAT-based with a simulation
+    pre-filter and bounded by ``max_checks``.
+    """
+    from ..cec import check_equivalence
+
+    current = aig.extract()
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for var in list(current.and_vars()):
+            if checks >= max_checks:
+                break
+            f0, f1 = current.fanins(var)
+            for drop_idx in (0, 1):
+                checks += 1
+                candidate = _rebuild_without_edge(current, var, drop_idx)
+                if candidate.num_ands() >= current.num_ands():
+                    continue
+                if check_equivalence(current, candidate, sim_width, seed):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return current
+
+
+def _rebuild_without_edge(aig: AIG, target_var: int, drop_idx: int) -> AIG:
+    """Copy of the AIG with one AND fan-in replaced by constant 1."""
+    dest = AIG()
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+
+    def mapped(lit: int) -> int:
+        return lit_notif(mapping[lit_var(lit)], lit_neg(lit))
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        if var == target_var:
+            kept = f1 if drop_idx == 0 else f0
+            mapping[var] = mapped(kept)
+        else:
+            mapping[var] = dest.and_(mapped(f0), mapped(f1))
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(mapped(po), name)
+    return dest.extract()

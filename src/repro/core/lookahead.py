@@ -1,0 +1,350 @@
+"""The lookahead synthesis flow (Sec. 3.1 of the paper).
+
+Each round performs one level of the timing-driven decomposition of Eqn. 2:
+
+1. cluster the AIG into a technology-independent network ``T`` (renode);
+2. compute the SPCF of every critical output of the decomposed circuit;
+3. *primary simplification*: the Reduce/Simplify walk yields the simplified
+   cone ``y_pos`` and the window function Σ1;
+4. *secondary simplification*: the original cone is re-minimized under the
+   care set !Σ1, yielding ``y_neg``;
+5. *reconstruction*: ``y = ITE(Σ1, y_pos, y_neg)``, simplified through the
+   implication-rule engine, is synthesized arrival-aware into a fresh AIG
+   together with all untouched outputs;
+6. area recovery (SAT sweeping) cleans the result.
+
+Rounds repeat while the AIG depth improves, which realizes the iterated
+window sequence Σ1, Σ2, ..., Σl of the carry-lookahead analogy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..aig import AIG, CONST0, depth, levels, lit_not, lit_var, random_patterns
+from ..netlist import (
+    ArrivalAwareBuilder,
+    Network,
+    compute_levels,
+    renode,
+    synthesize_into,
+)
+from .area_recovery import sat_sweep
+from .model import BddBlowup, BddModel, ExactModel, SignatureModel
+from .reconstruct import reconstruct
+from .reduce import primary_reduce
+from .secondary import ExactCareChecker, SatCareChecker, secondary_simplify
+from .spcf import (
+    Spcf,
+    spcf_exact_bdd,
+    spcf_exact_tt,
+    spcf_overapprox_tt,
+    spcf_signature,
+    timed_simulation,
+    unpack_patterns,
+)
+
+TT_MODE_PI_LIMIT = 12
+"""Exhaustive truth-table global functions are used up to this many PIs."""
+
+BDD_MODE_PI_LIMIT = 26
+"""BDD-domain exact functions are attempted up to this many PIs."""
+
+
+class LookaheadOptimizer:
+    """Timing-driven optimizer producing lookahead logic circuits."""
+
+    def __init__(
+        self,
+        max_rounds: int = 4,
+        k: int = 6,
+        mode: str = "auto",
+        spcf_kind: str = "exact",
+        sim_width: int = 1024,
+        seed: int = 0,
+        use_rules: bool = True,
+        max_outputs_per_round: Optional[int] = None,
+        verify: bool = False,
+        area_recovery: bool = True,
+        walk_modes: Tuple[str, ...] = ("target", "full"),
+    ):
+        """Configure the optimizer.
+
+        ``mode``: 'tt' (exact global functions), 'sim' (signatures), or
+        'auto' (by PI count).  ``spcf_kind``: 'exact' or 'overapprox'
+        (truth-table modes only; simulation mode always estimates).
+        ``verify``: equivalence-check every accepted round (slow; tests).
+        """
+        self.max_rounds = max_rounds
+        self.k = k
+        self.mode = mode
+        self.spcf_kind = spcf_kind
+        self.sim_width = sim_width
+        self.seed = seed
+        self.use_rules = use_rules
+        self.max_outputs_per_round = max_outputs_per_round
+        self.verify = verify
+        self.area_recovery = area_recovery
+        self.walk_modes = walk_modes
+
+    # -- public API -------------------------------------------------------------
+
+    @staticmethod
+    def _quality(aig: AIG) -> Tuple[int, int, int]:
+        """Lexicographic quality: depth, then total PO levels, then size."""
+        from ..aig import po_levels
+
+        pol = po_levels(aig)
+        return (max(pol) if pol else 0, sum(pol), aig.num_ands())
+
+    def optimize(self, aig: AIG) -> AIG:
+        """Optimize the AIG; returns an equivalent circuit, never worse in depth.
+
+        Each walk strategy is run as its own full round sequence (greedy
+        per-round mixing of strategies traps the search in local optima);
+        the best final result wins.
+        """
+        results = [
+            self._optimize_with(aig, walk_mode)
+            for walk_mode in self.walk_modes
+        ]
+        return min(results, key=self._quality)
+
+    def _optimize_with(self, aig: AIG, walk_mode: str) -> AIG:
+        current = aig.extract()
+        for _round in range(self.max_rounds):
+            candidate = self._one_round(current, walk_mode)
+            if candidate is None:
+                break
+            if self._quality(candidate) >= self._quality(current):
+                break
+            if self.verify:
+                from ..cec import assert_equivalent
+
+                assert_equivalent(current, candidate, "lookahead round")
+            current = candidate
+        return current
+
+    # -- one decomposition level ---------------------------------------------------
+
+    def _resolve_mode(self, aig: AIG) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if aig.num_pis <= TT_MODE_PI_LIMIT:
+            return "tt"
+        if aig.num_pis <= BDD_MODE_PI_LIMIT:
+            return "bdd"
+        return "sim"
+
+    def _one_round(self, aig: AIG, walk_mode: str = "target") -> Optional[AIG]:
+        d = depth(aig)
+        if d <= 1:
+            return None
+        mode = self._resolve_mode(aig)
+        net = renode(aig, self.k)
+        aig_levels = levels(aig)
+        # Criticality is judged on the decomposed circuit (the AIG), where
+        # the SPCF and the paper's quality metric live.
+        critical = [
+            i
+            for i, po in enumerate(aig.pos)
+            if aig_levels[lit_var(po)] == d
+        ]
+        if self.max_outputs_per_round is not None:
+            critical = critical[: self.max_outputs_per_round]
+
+        pi_words: List[int] = []
+        timed = None
+        bdd_manager = None
+
+        def ensure_sim():
+            nonlocal pi_words, timed
+            if timed is None:
+                pi_words = random_patterns(
+                    aig.num_pis, self.sim_width, self.seed
+                )
+                pi_bits = unpack_patterns(pi_words, self.sim_width)
+                timed = timed_simulation(aig, pi_bits)
+
+        if mode == "sim":
+            ensure_sim()
+        elif mode == "bdd":
+            from ..bdd import BDD
+
+            bdd_manager = BDD()
+
+        processed: List[Tuple[int, Network, int, Network]] = []
+        for po_index in critical:
+            po_mode = mode
+            spcf = self._compute_spcf(
+                aig, po_index, aig_levels, po_mode, timed, pi_words,
+                bdd_manager,
+            )
+            if po_mode == "bdd" and spcf is None:
+                # BDD blowup: retry this output in the signature domain.
+                po_mode = "sim"
+                ensure_sim()
+                spcf = self._compute_spcf(
+                    aig, po_index, aig_levels, po_mode, timed, pi_words, None
+                )
+            if spcf is None or spcf.is_empty():
+                continue  # output has no (sensitizable) critical path
+            try:
+                result = self._process_output(
+                    net, po_index, spcf, po_mode, pi_words, walk_mode,
+                    bdd_manager,
+                )
+            except BddBlowup:
+                ensure_sim()
+                spcf = self._compute_spcf(
+                    aig, po_index, aig_levels, "sim", timed, pi_words, None
+                )
+                if spcf is None or spcf.is_empty():
+                    continue
+                result = self._process_output(
+                    net, po_index, spcf, "sim", pi_words, walk_mode, None
+                )
+            if result is not None:
+                processed.append(result)
+        if not processed:
+            return None
+        rebuilt = self._rebuild(aig, processed)
+        if self.area_recovery:
+            rebuilt = sat_sweep(rebuilt, seed=self.seed)
+        return rebuilt
+
+    def _compute_spcf(
+        self,
+        aig: AIG,
+        po_index: int,
+        aig_levels: List[int],
+        mode: str,
+        timed,
+        pi_words: List[int],
+        bdd_manager=None,
+    ) -> Optional[Spcf]:
+        po_depth = aig_levels[lit_var(aig.pos[po_index])]
+        if po_depth == 0:
+            return None
+        # Start at the full output depth and relax: longest paths may be
+        # false (statically unsensitizable), and a near-empty SPCF makes a
+        # useless weight metric — the paper's Delta is a free threshold.
+        min_count = 1 if mode == "tt" else max(8, self.sim_width // 128)
+        min_delta = max(1, po_depth // 2)
+        fallback = None
+        for delta in range(po_depth, min_delta - 1, -1):
+            if mode == "tt":
+                if self.spcf_kind == "overapprox":
+                    tt = spcf_overapprox_tt(aig, po_index, delta)
+                else:
+                    tt = spcf_exact_tt(aig, po_index, delta)
+                spcf = Spcf("tt", tt=tt)
+            elif mode == "bdd":
+                ref = spcf_exact_bdd(aig, po_index, delta, bdd_manager)
+                if ref is None:
+                    return None  # manager blowup: caller falls back
+                spcf = Spcf(
+                    "bdd", bdd=bdd_manager, ref=ref, num_pis=aig.num_pis
+                )
+            else:
+                sig = spcf_signature(
+                    aig, po_index, delta, None, timed=timed
+                )
+                spcf = Spcf("sim", signature=sig)
+            if spcf.count >= min_count:
+                return spcf
+            if fallback is None and not spcf.is_empty():
+                fallback = spcf
+        return fallback
+
+    def _process_output(
+        self,
+        net: Network,
+        po_index: int,
+        spcf: Spcf,
+        mode: str,
+        pi_words: List[int],
+        walk_mode: str = "target",
+        bdd_manager=None,
+    ) -> Optional[Tuple[int, Network, int, Network]]:
+        pos_net = net.extract_po_cone(po_index)
+        neg_net = net.extract_po_cone(po_index)
+        if mode == "tt":
+            model = ExactModel(pos_net)
+        elif mode == "bdd":
+            model = BddModel(pos_net, bdd=bdd_manager)
+        else:
+            model = SignatureModel(pos_net, pi_words, self.sim_width)
+        spcf_fn = model.spcf_fn(spcf)
+        primary = primary_reduce(
+            pos_net, 0, model, spcf_fn, walk_mode=walk_mode
+        )
+        if not primary.success or primary.sigma_nid is None:
+            return None
+        model.recompute()  # include the freshly added window/Σ nodes
+        sigma_fn = model.fn(primary.sigma_nid)
+        care_fn = model.complement(sigma_fn)
+        if mode == "tt":
+            checker = ExactCareChecker(ExactModel(neg_net), care_fn)
+        elif mode == "bdd":
+            checker = ExactCareChecker(
+                BddModel(neg_net, bdd=bdd_manager), care_fn
+            )
+        else:
+            checker = SatCareChecker(
+                SignatureModel(neg_net, pi_words, self.sim_width),
+                care_fn,
+                pos_net,
+                primary.sigma_nid,
+                neg_net,
+            )
+        secondary_simplify(neg_net, 0, checker, max_nodes=24)
+        return po_index, pos_net, primary.sigma_nid, neg_net
+
+    def _rebuild(
+        self,
+        aig: AIG,
+        processed: List[Tuple[int, Network, int, Network]],
+    ) -> AIG:
+        dest = AIG()
+        builder = ArrivalAwareBuilder(dest)
+        mapping: Dict[int, int] = {0: CONST0}
+        pi_lits = []
+        for var, name in zip(aig.pis, aig.pi_names):
+            lit = dest.add_pi(name)
+            mapping[var] = lit
+            pi_lits.append(lit)
+        by_po = {po_index: entry for entry in processed for po_index in [entry[0]]}
+        new_pos: List[int] = []
+        for i, po_lit in enumerate(aig.pos):
+            entry = by_po.get(i)
+            if entry is None:
+                new_pos.append(aig.copy_cone(dest, mapping, [po_lit])[0])
+                continue
+            _idx, pos_net, sigma_nid, neg_net = entry
+            pos_lits = synthesize_into(builder, pos_net, pi_lits)
+            neg_lits = synthesize_into(builder, neg_net, pi_lits)
+            root_p, neg_p = pos_net.pos[0]
+            y_pos = pos_lits[root_p]
+            if neg_p:
+                y_pos = lit_not(y_pos)
+            sigma = pos_lits[sigma_nid]
+            root_n, neg_n = neg_net.pos[0]
+            y_neg = neg_lits[root_n]
+            if neg_n:
+                y_neg = lit_not(y_neg)
+            recon = reconstruct(builder, sigma, y_pos, y_neg, self.use_rules)
+            original = aig.copy_cone(dest, mapping, [po_lit])[0]
+            # Keep the original cone when the reconstruction did not win.
+            if builder.level(recon) < builder.level(original):
+                new_pos.append(recon)
+            else:
+                new_pos.append(original)
+        for lit, name in zip(new_pos, aig.po_names):
+            dest.add_po(lit, name)
+        return dest.extract()
+
+
+def optimize_lookahead(aig: AIG, **kwargs) -> AIG:
+    """One-call convenience wrapper around :class:`LookaheadOptimizer`."""
+    return LookaheadOptimizer(**kwargs).optimize(aig)

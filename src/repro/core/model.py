@@ -1,0 +1,272 @@
+"""Global-function models of a (mutating) technology-independent network.
+
+Cube weights — the guide metric of `Simplify` — need the global function of
+every network node in the same domain as the SPCF.  Two interchangeable
+models are provided:
+
+* :class:`ExactModel` — global truth tables over the PIs (small circuits);
+* :class:`SignatureModel` — packed random-simulation signatures (any size).
+
+Both expose the same small algebra (literal/conj/complement/count) so the
+core algorithms are mode-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist import Network, min_sops
+from ..sop import Cube
+from ..tt import TruthTable
+from .spcf import Spcf
+
+
+class ExactModel:
+    """Global truth tables of every network node."""
+
+    mode = "tt"
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.num_pis = len(net.pis)
+        self.fns: Dict[int, TruthTable] = {}
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Recompute all node functions after network mutation."""
+        self.fns = self.net.global_tts()
+
+    def fn(self, nid: int) -> TruthTable:
+        return self.fns[nid]
+
+    def literal(self, fn: TruthTable, pol: bool) -> TruthTable:
+        return fn if pol else ~fn
+
+    def conj(self, fns: Sequence[TruthTable]) -> TruthTable:
+        out = TruthTable.const(True, self.num_pis)
+        for f in fns:
+            out &= f
+            if out.is_const0:
+                break
+        return out
+
+    def complement(self, fn: TruthTable) -> TruthTable:
+        return ~fn
+
+    def count(self, fn: TruthTable) -> int:
+        return fn.count_ones()
+
+    def cube_condition(self, nid: int, cube: Cube) -> TruthTable:
+        """Global condition: node ``nid``'s fan-ins lie inside ``cube``."""
+        node = self.net.nodes[nid]
+        terms = [
+            self.literal(self.fn(node.fanins[var]), pol)
+            for var, pol in cube.literals()
+        ]
+        return self.conj(terms)
+
+    def spcf_fn(self, spcf: Spcf) -> TruthTable:
+        if spcf.mode != "tt":
+            raise ValueError("SPCF domain mismatch (expected tt)")
+        return spcf.tt
+
+    def cube_weight(self, spcf_fn: TruthTable, nid: int, cube: Cube) -> float:
+        """Fraction of SPCF minterms driving the node's fan-ins into cube."""
+        total = self.count(spcf_fn)
+        if total == 0:
+            return 0.0
+        hit = self.count(self.conj([spcf_fn, self.cube_condition(nid, cube)]))
+        return hit / total
+
+
+class BddModel:
+    """Global BDD functions of every network node (exact, mid-size PIs).
+
+    Same interface as :class:`ExactModel` with BDD references as the
+    function domain; raises :class:`BddBlowup` when the manager exceeds
+    its node budget so callers can fall back to signatures.
+    """
+
+    mode = "bdd"
+
+    def __init__(self, net: Network, bdd=None, size_limit: int = 500_000):
+        from ..bdd import BDD
+
+        self.net = net
+        self.num_pis = len(net.pis)
+        self.bdd = bdd if bdd is not None else BDD()
+        self.size_limit = size_limit
+        self.fns: Dict[int, int] = {}
+        self.recompute()
+
+    def recompute(self) -> None:
+        from ..bdd import FALSE, TRUE, ref_not
+
+        bdd = self.bdd
+        fns: Dict[int, int] = {}
+        for i, pi in enumerate(self.net.pis):
+            fns[pi] = bdd.var(i)
+        for nid in self.net.topo_order():
+            node = self.net.nodes[nid]
+            tt = node.tt
+            if tt.is_const0:
+                fns[nid] = FALSE
+                continue
+            if tt.is_const1:
+                fns[nid] = TRUE
+                continue
+            on_cover, _ = min_sops(tt)
+            acc = FALSE
+            for cube in on_cover:
+                term = TRUE
+                for var, pol in cube.literals():
+                    f = fns[node.fanins[var]]
+                    term = bdd.and_(term, f if pol else ref_not(f))
+                    if term == FALSE:
+                        break
+                acc = bdd.or_(acc, term)
+            fns[nid] = acc
+            if bdd.size() > self.size_limit:
+                raise BddBlowup(
+                    f"BDD manager exceeded {self.size_limit} nodes"
+                )
+        self.fns = fns
+
+    def fn(self, nid: int) -> int:
+        return self.fns[nid]
+
+    def literal(self, fn: int, pol: bool) -> int:
+        from ..bdd import ref_not
+
+        return fn if pol else ref_not(fn)
+
+    def conj(self, fns: Sequence[int]) -> int:
+        from ..bdd import FALSE, TRUE
+
+        acc = TRUE
+        for f in fns:
+            acc = self.bdd.and_(acc, f)
+            if acc == FALSE:
+                break
+        return acc
+
+    def complement(self, fn: int) -> int:
+        from ..bdd import ref_not
+
+        return ref_not(fn)
+
+    def count(self, fn: int) -> int:
+        return self.bdd.sat_count(fn, self.num_pis)
+
+    def cube_condition(self, nid: int, cube: Cube) -> int:
+        node = self.net.nodes[nid]
+        terms = [
+            self.literal(self.fn(node.fanins[var]), pol)
+            for var, pol in cube.literals()
+        ]
+        return self.conj(terms)
+
+    def spcf_fn(self, spcf) -> int:
+        if spcf.mode != "bdd":
+            raise ValueError("SPCF domain mismatch (expected bdd)")
+        if spcf.bdd is not self.bdd:
+            raise ValueError("SPCF built in a different BDD manager")
+        return spcf.ref
+
+    def cube_weight(self, spcf_fn: int, nid: int, cube: Cube) -> float:
+        total = self.count(spcf_fn)
+        if total == 0:
+            return 0.0
+        hit = self.count(
+            self.conj([spcf_fn, self.cube_condition(nid, cube)])
+        )
+        return hit / total
+
+
+class BddBlowup(RuntimeError):
+    """Raised when a BDD-domain model exceeds its node budget."""
+
+
+class SignatureModel:
+    """Packed random-simulation signatures of every network node."""
+
+    mode = "sim"
+
+    def __init__(self, net: Network, pi_words: Sequence[int], width: int):
+        if len(pi_words) != len(net.pis):
+            raise ValueError("one pattern word per PI required")
+        self.net = net
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.pi_words = list(pi_words)
+        self.fns: Dict[int, int] = {}
+        self.recompute()
+
+    def recompute(self) -> None:
+        fns: Dict[int, int] = {}
+        for pi, word in zip(self.net.pis, self.pi_words):
+            fns[pi] = word & self.mask
+        for nid in self.net.topo_order():
+            node = self.net.nodes[nid]
+            fanin_words = [fns[f] for f in node.fanins]
+            fns[nid] = self._eval_node(node.tt, fanin_words)
+        self.fns = fns
+
+    def _eval_node(self, tt: TruthTable, fanin_words: List[int]) -> int:
+        if tt.is_const0:
+            return 0
+        if tt.is_const1:
+            return self.mask
+        on_cover, _off = min_sops(tt)
+        out = 0
+        for cube in on_cover:
+            term = self.mask
+            for var, pol in cube.literals():
+                w = fanin_words[var]
+                term &= w if pol else (w ^ self.mask)
+                if not term:
+                    break
+            out |= term
+            if out == self.mask:
+                break
+        return out
+
+    def fn(self, nid: int) -> int:
+        return self.fns[nid]
+
+    def literal(self, fn: int, pol: bool) -> int:
+        return fn if pol else (fn ^ self.mask)
+
+    def conj(self, fns: Sequence[int]) -> int:
+        out = self.mask
+        for f in fns:
+            out &= f
+            if not out:
+                break
+        return out
+
+    def complement(self, fn: int) -> int:
+        return fn ^ self.mask
+
+    def count(self, fn: int) -> int:
+        return bin(fn).count("1")
+
+    def cube_condition(self, nid: int, cube: Cube) -> int:
+        node = self.net.nodes[nid]
+        terms = [
+            self.literal(self.fn(node.fanins[var]), pol)
+            for var, pol in cube.literals()
+        ]
+        return self.conj(terms)
+
+    def spcf_fn(self, spcf: Spcf) -> int:
+        if spcf.mode != "sim":
+            raise ValueError("SPCF domain mismatch (expected sim)")
+        return spcf.signature & self.mask
+
+    def cube_weight(self, spcf_fn: int, nid: int, cube: Cube) -> float:
+        total = self.count(spcf_fn)
+        if total == 0:
+            return 0.0
+        hit = self.count(spcf_fn & self.cube_condition(nid, cube))
+        return hit / total

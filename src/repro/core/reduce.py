@@ -1,0 +1,156 @@
+"""The critical-cone reduction walk (Fig. 2 of the paper).
+
+``primary_reduce`` runs the paper's ``Reduce`` loop on a single-output cone
+network: starting at the highest-level node of the output's fan-in cone,
+nodes along the critical structure are handed to ``Simplify`` and the walk
+descends through critical fan-ins until the output level drops below the
+original network depth (or no candidates remain).  The collected windows
+are conjoined into the window function Σ1, which is instantiated as network
+nodes on top of the simplified cone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import Network, compute_levels, critical_inputs
+from ..tt import TruthTable
+from .simplify import simplify_node
+
+
+class PrimaryResult:
+    """Outcome of the primary simplification on one output cone."""
+
+    __slots__ = ("success", "windows", "sigma_nid", "final_level")
+
+    def __init__(
+        self,
+        success: bool,
+        windows: Dict[int, TruthTable],
+        sigma_nid: Optional[int],
+        final_level: int,
+    ):
+        self.success = success
+        self.windows = windows  # node id -> local window function
+        self.sigma_nid = sigma_nid  # network node computing Σ1
+        self.final_level = final_level
+
+    def __repr__(self) -> str:
+        return (
+            f"PrimaryResult(success={self.success}, "
+            f"marked={len(self.windows)}, level={self.final_level})"
+        )
+
+
+AND2_TT = TruthTable.from_function(lambda a, b: a and b, 2)
+
+
+def _highest_cone_node(
+    net: Network, root: int, levels: Dict[int, int]
+) -> Optional[int]:
+    cone = net.fanin_cone([root])
+    internal = [
+        nid for nid in cone if net.nodes[nid].kind == "node"
+    ]
+    if not internal:
+        return None
+    return max(internal, key=lambda nid: (levels[nid], nid))
+
+
+def primary_reduce(
+    net: Network,
+    po_index: int,
+    model,
+    spcf_fn,
+    target_level: Optional[int] = None,
+    max_steps: int = 200,
+    window_limit: Optional[int] = None,
+    walk_mode: str = "target",
+) -> PrimaryResult:
+    """Fig. 2 ``Reduce``: walk and simplify the critical cone of one output.
+
+    ``net`` must be a single-output cone network (see
+    ``Network.extract_po_cone``); it is mutated in place.  ``target_level``
+    defaults to the output's current level (the paper's ``l_T``).
+
+    ``walk_mode='target'`` stops as soon as the output level beats the
+    target (the paper's ``until level(y) < l_T``); ``'full'`` keeps
+    simplifying along the critical path to its end, which collects the
+    full window conjunction (the carry-skip shape) at a higher area cost.
+    """
+    root, _neg = net.pos[po_index]
+    levels = compute_levels(net)
+    if target_level is None:
+        target_level = levels[root]
+    if window_limit is None:
+        # Budget so that Σ1 plus the reconstruction mux stays below the
+        # target: window AND-tree and the ITE add a few levels on top.
+        window_limit = max(1, target_level - 3)
+    windows: Dict[int, TruthTable] = {}
+    visited = set()
+    current = _highest_cone_node(net, root, levels)
+    steps = 0
+    while current is not None and steps < max_steps:
+        steps += 1
+        visited.add(current)
+        node = net.nodes[current]
+        fanin_levels = [levels[f] for f in node.fanins]
+        outcome = simplify_node(
+            net, current, fanin_levels, model, spcf_fn, window_limit
+        )
+        if outcome.changed:
+            windows[current] = outcome.window
+            model.recompute()
+            levels = compute_levels(net)
+            if walk_mode == "target" and levels[root] < target_level:
+                break
+        # Descend: highest unvisited critical fan-in of the current node.
+        node = net.nodes[current]
+        fanin_levels = [levels[f] for f in node.fanins]
+        crit_positions = critical_inputs(node.tt, fanin_levels)
+        candidates = [
+            node.fanins[i]
+            for i in crit_positions
+            if net.nodes[node.fanins[i]].kind == "node"
+            and node.fanins[i] not in visited
+        ]
+        if not candidates:
+            # Fall back to any unvisited internal fan-in before giving up.
+            candidates = [
+                f
+                for f in node.fanins
+                if net.nodes[f].kind == "node" and f not in visited
+            ]
+        if not candidates:
+            break
+        current = max(candidates, key=lambda nid: (levels[nid], nid))
+
+    success = bool(windows) and levels[root] < target_level
+    sigma_nid = build_sigma(net, windows) if windows else None
+    return PrimaryResult(success, windows, sigma_nid, levels[root])
+
+
+def build_sigma(net: Network, windows: Dict[int, TruthTable]) -> int:
+    """Instantiate Σ1 = AND of per-node windows as network nodes.
+
+    Each window is a local function over the marked node's fan-ins; the
+    conjunction is built as a binary AND tree.
+    """
+    terms: List[int] = []
+    for nid, window in sorted(windows.items()):
+        node = net.nodes[nid]
+        small, support = window.shrink()
+        if small.is_const1:
+            continue
+        fanins = [node.fanins[i] for i in support]
+        terms.append(net.add_node(fanins, small, name=f"win{nid}"))
+    if not terms:
+        return net.add_const(True)
+    while len(terms) > 1:
+        nxt = []
+        for i in range(0, len(terms) - 1, 2):
+            nxt.append(net.add_node([terms[i], terms[i + 1]], AND2_TT))
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+    return terms[0]

@@ -1,0 +1,150 @@
+"""Secondary simplification: reducing the original cone under care !Σ1.
+
+Cubes of a node's on/off minimum SOPs that are *unreachable* when Σ1 = 0
+become don't-cares and the node function is re-minimized (the paper,
+Sec. 3.1).  Unreachability is proved, never guessed: the exact model counts
+minterms exactly; the signature model pre-filters with simulation and
+confirms with a SAT query spanning the (Σ1-bearing) primary network and the
+current secondary network, so correctness never rests on the estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netlist import Network, compute_levels, min_sops, node_level
+from ..netlist.encode import encode_network
+from ..sat import Solver
+from ..sop import Cube
+from ..tt import TruthTable
+from .model import ExactModel, SignatureModel
+from .simplify import complete_function
+
+MINTERM_GRANULARITY_LIMIT = 8
+"""Node supports up to this size get minterm-granular don't-care checks."""
+
+
+class ExactCareChecker:
+    """Unreachability by exact counting over global truth tables."""
+
+    def __init__(self, model: ExactModel, care_fn):
+        self.model = model
+        self.care_fn = care_fn
+
+    def refresh(self) -> None:
+        self.model.recompute()
+
+    def cube_unreachable(self, nid: int, cube: Cube) -> bool:
+        cond = self.model.cube_condition(nid, cube)
+        return self.model.count(self.model.conj([self.care_fn, cond])) == 0
+
+
+class SatCareChecker:
+    """Unreachability by simulation pre-filter + SAT proof.
+
+    The SAT instance encodes the primary network (which contains the Σ1
+    node) and the *current* secondary network over shared PIs; a cube is
+    unreachable iff ``!Σ1 AND (fan-ins of j in cube)`` is UNSAT.
+    """
+
+    def __init__(
+        self,
+        sig_model: SignatureModel,
+        care_sig: int,
+        primary_net: Network,
+        sigma_nid: int,
+        secondary_net: Network,
+    ):
+        self.sig_model = sig_model
+        self.care_sig = care_sig
+        self.primary_net = primary_net
+        self.sigma_nid = sigma_nid
+        self.secondary_net = secondary_net
+        self._solver: Optional[Solver] = None
+        self._sec_vars: Dict[int, int] = {}
+        self._sigma_var = 0
+        self.max_conflicts = 200
+
+    def refresh(self) -> None:
+        """Invalidate the encoding after a secondary-network mutation."""
+        self.sig_model.recompute()
+        self._solver = None
+
+    def _ensure_encoding(self) -> None:
+        if self._solver is not None:
+            return
+        solver = Solver()
+        prim_vars = encode_network(solver, self.primary_net)
+        pi_vars = [prim_vars[pi] for pi in self.primary_net.pis]
+        self._sec_vars = encode_network(
+            solver, self.secondary_net, pi_vars=pi_vars
+        )
+        self._sigma_var = prim_vars[self.sigma_nid]
+        self._solver = solver
+
+    def cube_unreachable(self, nid: int, cube: Cube) -> bool:
+        # Fast path: any care-set simulation pattern inside the cube proves
+        # reachability without SAT.
+        cond = self.sig_model.cube_condition(nid, cube)
+        if self.care_sig & cond:
+            return False
+        self._ensure_encoding()
+        node = self.secondary_net.nodes[nid]
+        assumptions = [-self._sigma_var]
+        for var, pol in cube.literals():
+            sv = self._sec_vars[node.fanins[var]]
+            assumptions.append(sv if pol else -sv)
+        # Budgeted query: unknown is treated as reachable (no drop), which
+        # is always safe.
+        result = self._solver.solve(assumptions, max_conflicts=self.max_conflicts)
+        return result is False
+
+
+def secondary_simplify(
+    net: Network, po_index: int, checker, max_nodes: Optional[int] = None
+) -> int:
+    """Drop care-unreachable cubes of every node in the output's cone.
+
+    Mutates ``net``; returns the number of nodes whose function changed.
+    Nodes are processed in topological order and the checker is refreshed
+    after every mutation, so each proof is against the current network.
+    """
+    root, _neg = net.pos[po_index]
+    cone = net.fanin_cone([root])
+    levels = compute_levels(net)
+    changed = 0
+    for nid in net.topo_order():
+        if nid not in cone:
+            continue
+        if max_nodes is not None and changed >= max_nodes:
+            break
+        node = net.nodes[nid]
+        tt = node.tt
+        if tt.is_const0 or tt.is_const1 or not node.fanins:
+            continue
+        dc = TruthTable.const(False, tt.nvars)
+        if tt.nvars <= MINTERM_GRANULARITY_LIMIT:
+            # Minterm-granular don't-cares: an input vector of the node that
+            # no care minterm can produce is free, even when the prime cube
+            # containing it is partially reachable.
+            for m in range(1 << tt.nvars):
+                cube = Cube.from_minterm(m, tt.nvars)
+                if checker.cube_unreachable(nid, cube):
+                    dc |= cube.to_tt()
+        else:
+            on_cover, off_cover = min_sops(tt)
+            for cube in list(on_cover) + list(off_cover):
+                if checker.cube_unreachable(nid, cube):
+                    dc |= cube.to_tt()
+        if dc.is_const0:
+            continue
+        fanin_levels = [levels[f] for f in node.fanins]
+        on_req = tt & ~dc
+        new_tt = complete_function(on_req, dc, fanin_levels)
+        if new_tt == tt:
+            continue
+        net.set_function(nid, new_tt)
+        changed += 1
+        checker.refresh()
+        levels = compute_levels(net)
+    return changed

@@ -1,0 +1,232 @@
+"""Node simplification guided by the SPCF (Fig. 1 of the paper).
+
+``simplify_node`` rewrites the local function ``b_j`` of one network node
+into a cheaper ``b~_j`` and returns the *window*: the local condition on the
+node's fan-ins under which ``b~_j`` agrees with ``b_j``.  Three cases,
+exactly as in the paper's pseudo-code:
+
+* every off-set cube has zero weight (the node is 1 on all speed-path
+  minterms): start from constant 0 and re-admit on-set cubes in decreasing
+  weight order while the node level stays below its original value; the
+  window is ``b~_j`` itself;
+* every on-set cube has zero weight: the dual, window ``!b~_j``;
+* both sides carry weight: start from all don't-cares and commit cubes (of
+  either set) in decreasing weight order under the same level constraint;
+  the window is the agreement set ``XNOR(b~_j, b_j)`` of the chosen
+  completion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import Network, cover_level, min_sops, node_level
+from ..sop import min_sop
+from ..tt import TruthTable
+
+
+class SimplifyOutcome:
+    """Result of simplifying one node."""
+
+    __slots__ = ("changed", "window", "new_level")
+
+    def __init__(
+        self,
+        changed: bool,
+        window: Optional[TruthTable] = None,
+        new_level: Optional[int] = None,
+    ):
+        self.changed = changed
+        self.window = window
+        self.new_level = new_level
+
+    def __repr__(self) -> str:
+        return f"SimplifyOutcome(changed={self.changed})"
+
+
+def incomplete_level(
+    on: TruthTable, dc: TruthTable, fanin_levels: Sequence[int]
+) -> int:
+    """Level of an incompletely specified function (best completion phase)."""
+    off = ~(on | dc)
+    if on.is_const0 or off.is_const0:
+        return 0
+    on_cover = min_sop(on, dc)
+    off_cover = min_sop(off, dc)
+    return min(
+        cover_level(on_cover, fanin_levels),
+        cover_level(off_cover, fanin_levels),
+    )
+
+
+def complete_function(
+    on: TruthTable, dc: TruthTable, fanin_levels: Sequence[int]
+) -> TruthTable:
+    """Pick the completion of (on, dc) with the smaller node level."""
+    off = ~(on | dc)
+    if on.is_const0:
+        return TruthTable.const(False, on.nvars)
+    if off.is_const0:
+        return TruthTable.const(True, on.nvars)
+    on_cover = min_sop(on, dc)
+    off_cover = min_sop(off, dc)
+    cand_on = on_cover.to_tt()
+    cand_off = ~off_cover.to_tt()
+    if node_level(cand_off, fanin_levels) < node_level(cand_on, fanin_levels):
+        return cand_off
+    return cand_on
+
+
+def shrink_window(
+    window: TruthTable,
+    fanin_levels: Sequence[int],
+    late_threshold: int,
+    limit: Optional[int] = None,
+) -> TruthTable:
+    """Make a window shallow by universally quantifying late fan-ins.
+
+    Any under-approximation of the agreement set is a valid window, so the
+    window's dependence on a late input ``v`` may be dropped by requiring
+    agreement for *both* values of ``v`` (universal quantification).  Two
+    criteria are applied:
+
+    * every support variable arriving at or after ``late_threshold`` is
+      eliminated — the window must not ride on the signals whose lateness
+      the simplification just removed (this is exactly the step that turns
+      the full-adder agreement set into the carry-lookahead window
+      ``a XOR b``);
+    * while the window's own level exceeds ``limit`` (the depth budget Σ1
+      is allowed in the reconstruction), the latest remaining support
+      variable is eliminated.
+
+    Together these realize the paper's guarantee that "the additional
+    logic does not cancel the reduction in logic levels".  Returns
+    constant 0 when no usable shallow window exists.
+    """
+    w = window
+    for i in sorted(
+        range(len(fanin_levels)), key=lambda i: -fanin_levels[i]
+    ):
+        if w.is_const0:
+            return w
+        if fanin_levels[i] >= late_threshold and w.depends_on(i):
+            w = w.forall(i)
+    while not w.is_const0 and limit is not None:
+        if node_level(w, fanin_levels) <= limit:
+            break
+        support = w.support()
+        if not support:
+            break
+        latest = max(support, key=lambda i: fanin_levels[i])
+        w = w.forall(latest)
+    return w
+
+
+def simplify_node(
+    net: Network,
+    nid: int,
+    fanin_levels: Sequence[int],
+    model,
+    spcf_fn,
+    window_limit: Optional[int] = None,
+) -> SimplifyOutcome:
+    """Fig. 1 ``Simplify(j)``: reduce node ``nid`` guided by cube weights.
+
+    Mutates the node function on success and returns the local window.
+    ``model`` supplies global fan-in functions, ``spcf_fn`` the SPCF in the
+    model's domain.
+    """
+    node = net.nodes[nid]
+    b = node.tt
+    if b is None or b.is_const0 or b.is_const1 or not node.fanins:
+        return SimplifyOutcome(False)
+    original_level = node_level(b, fanin_levels)
+    if original_level == 0:
+        return SimplifyOutcome(False)
+    on_cover, off_cover = min_sops(b)
+    w_on = [model.cube_weight(spcf_fn, nid, c) for c in on_cover]
+    w_off = [model.cube_weight(spcf_fn, nid, c) for c in off_cover]
+
+    if all(w == 0.0 for w in w_off):
+        reduced = _one_sided(
+            b, on_cover, w_on, fanin_levels, original_level, keep_value=True
+        )
+        window = reduced
+    elif all(w == 0.0 for w in w_on):
+        reduced = _one_sided(
+            b, off_cover, w_off, fanin_levels, original_level, keep_value=False
+        )
+        window = ~reduced
+    else:
+        reduced, window = _two_sided(
+            b, on_cover, w_on, off_cover, w_off, fanin_levels, original_level
+        )
+
+    if reduced == b or window.is_const0:
+        return SimplifyOutcome(False)
+    new_level = node_level(reduced, fanin_levels)
+    if new_level >= original_level:
+        return SimplifyOutcome(False)
+    window = shrink_window(
+        window, fanin_levels, max(new_level, 1), window_limit
+    )
+    if window.is_const0:
+        return SimplifyOutcome(False)
+    net.set_function(nid, reduced)
+    return SimplifyOutcome(True, window, new_level)
+
+
+def _one_sided(
+    b: TruthTable,
+    cover,
+    weights: List[float],
+    fanin_levels: Sequence[int],
+    original_level: int,
+    keep_value: bool,
+) -> TruthTable:
+    """Cases A/B: rebuild from a constant, re-admitting weighted cubes.
+
+    ``keep_value=True`` grows the on-set from constant 0 (case A);
+    ``keep_value=False`` carves the off-set out of constant 1 (case B).
+    """
+    current = TruthTable.const(not keep_value, b.nvars)
+    order = sorted(
+        range(len(cover.cubes)), key=lambda i: -weights[i]
+    )
+    for i in order:
+        cube_tt = cover.cubes[i].to_tt()
+        candidate = (current | cube_tt) if keep_value else (current & ~cube_tt)
+        if node_level(candidate, fanin_levels) < original_level:
+            current = candidate
+    return current
+
+
+def _two_sided(
+    b: TruthTable,
+    on_cover,
+    w_on: List[float],
+    off_cover,
+    w_off: List[float],
+    fanin_levels: Sequence[int],
+    original_level: int,
+) -> Tuple[TruthTable, TruthTable]:
+    """Case C: start from all don't-cares, commit cubes of either set."""
+    nvars = b.nvars
+    committed_on = TruthTable.const(False, nvars)
+    committed_off = TruthTable.const(False, nvars)
+    tagged = [(w_on[i], True, c) for i, c in enumerate(on_cover.cubes)]
+    tagged += [(w_off[i], False, c) for i, c in enumerate(off_cover.cubes)]
+    tagged.sort(key=lambda t: -t[0])
+    for weight, is_on, cube in tagged:
+        if weight == 0.0:
+            continue
+        cube_tt = cube.to_tt()
+        trial_on = committed_on | (cube_tt & ~committed_off) if is_on else committed_on
+        trial_off = committed_off if is_on else committed_off | (cube_tt & ~committed_on)
+        dc = ~(trial_on | trial_off)
+        if incomplete_level(trial_on, dc, fanin_levels) < original_level:
+            committed_on, committed_off = trial_on, trial_off
+    dc = ~(committed_on | committed_off)
+    reduced = complete_function(committed_on, dc, fanin_levels)
+    window = ~(reduced ^ b)
+    return reduced, window

@@ -1,0 +1,298 @@
+"""Speed-path characteristic functions (SPCF).
+
+The SPCF of an output ``y`` at threshold ``delta`` is the set of input
+minterms that sensitize paths of length >= ``delta`` logic levels in the
+decomposed circuit (Sec. 3 of the paper).  Three computations are provided:
+
+* :func:`spcf_exact_tt` — exact static-sensitization SPCF as a truth table,
+  via a dynamic program over (node, required-length) pairs (the path-based
+  exact algorithms of [7, 19] reformulated as a node recurrence);
+* :func:`spcf_overapprox_tt` — the node-based over-approximation in the
+  spirit of telescopic units [20, 21]: a side input may be either
+  non-controlling *or itself critical*, which is a superset of the exact
+  condition but far cheaper to reason about;
+* :func:`spcf_signature` — a floating-mode timed-simulation estimate over a
+  random pattern set, used on circuits too large for global functions.
+
+The SPCF is *only a guide metric* (the paper, Sec. 3.1): approximate SPCFs
+never compromise correctness of the synthesized lookahead circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aig import AIG, levels, lit_neg, lit_var, node_tts
+from ..tt import TruthTable
+
+
+def _sensitization_dp(
+    aig: AIG, po_lit: int, delta: int, relaxed: bool
+) -> TruthTable:
+    """Shared DP for the exact and over-approximate SPCF truth tables."""
+    n = aig.num_pis
+    tts = node_tts(aig)
+    lvl = levels(aig)
+    const0 = TruthTable.const(False, n)
+    const1 = TruthTable.const(True, n)
+    memo: Dict[Tuple[int, int], TruthTable] = {}
+
+    def lit_tt(lit: int) -> TruthTable:
+        t = tts[lit_var(lit)]
+        return ~t if lit_neg(lit) else t
+
+    target = (lit_var(po_lit), delta)
+    stack = [target]
+    while stack:
+        var, t = stack[-1]
+        if (var, t) in memo:
+            stack.pop()
+            continue
+        if t <= 0:
+            memo[(var, t)] = const1
+            stack.pop()
+            continue
+        if not aig.is_and(var) or lvl[var] < t:
+            # PIs and the constant cannot start a positive-length path;
+            # a node of level < t cannot terminate one.
+            memo[(var, t)] = const0
+            stack.pop()
+            continue
+        f0, f1 = aig.fanins(var)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        pending = [
+            key for key in ((v0, t - 1), (v1, t - 1)) if key not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        crit0 = memo[(v0, t - 1)]
+        crit1 = memo[(v1, t - 1)]
+        side0 = lit_tt(f0)  # non-controlling value of input 0 (AND: 1)
+        side1 = lit_tt(f1)
+        if relaxed:
+            through0 = crit0 & (side1 | crit1)
+            through1 = crit1 & (side0 | crit0)
+        else:
+            through0 = crit0 & side1
+            through1 = crit1 & side0
+        memo[(var, t)] = through0 | through1
+    return memo[target]
+
+
+def spcf_exact_tt(aig: AIG, po_index: int, delta: int) -> TruthTable:
+    """Exact static-sensitization SPCF of a PO as a PI-space truth table."""
+    return _sensitization_dp(aig, aig.pos[po_index], delta, relaxed=False)
+
+
+def spcf_overapprox_tt(aig: AIG, po_index: int, delta: int) -> TruthTable:
+    """Node-based over-approximate SPCF (superset of the exact SPCF)."""
+    return _sensitization_dp(aig, aig.pos[po_index], delta, relaxed=True)
+
+
+# -- simulation-based SPCF ------------------------------------------------------
+
+
+def unpack_patterns(words: Sequence[int], width: int) -> np.ndarray:
+    """Packed pattern words -> bool matrix of shape (len(words), width)."""
+    rows = []
+    nbytes = (width + 7) // 8
+    for w in words:
+        raw = np.frombuffer(
+            int(w).to_bytes(nbytes, "little"), dtype=np.uint8
+        )
+        bits = np.unpackbits(raw, bitorder="little")[:width]
+        rows.append(bits.astype(bool))
+    return np.array(rows) if rows else np.zeros((0, width), dtype=bool)
+
+
+def pack_signature(bits: np.ndarray) -> int:
+    """Bool vector -> packed Python-int signature (bit p = pattern p)."""
+    raw = np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+    return int.from_bytes(raw, "little")
+
+
+def timed_simulation(
+    aig: AIG, pi_bits: np.ndarray
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Floating-mode timed simulation.
+
+    ``pi_bits`` has shape (num_pis, P).  Returns per-variable boolean value
+    vectors and integer arrival-time vectors: a controlled AND output
+    arrives one level after its earliest controlling input; an uncontrolled
+    output one level after its latest input.
+    """
+    num_patterns = pi_bits.shape[1] if pi_bits.size else 0
+    values: List[np.ndarray] = [
+        np.zeros(num_patterns, dtype=bool) for _ in range(aig.num_vars)
+    ]
+    arrivals: List[np.ndarray] = [
+        np.zeros(num_patterns, dtype=np.int32) for _ in range(aig.num_vars)
+    ]
+    for i, pi in enumerate(aig.pis):
+        values[pi] = pi_bits[i]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = values[lit_var(f0)]
+        if lit_neg(f0):
+            a = ~a
+        b = values[lit_var(f1)]
+        if lit_neg(f1):
+            b = ~b
+        ta = arrivals[lit_var(f0)]
+        tb = arrivals[lit_var(f1)]
+        both_one = a & b
+        both_zero = ~a & ~b
+        arrival = np.where(
+            both_one,
+            np.maximum(ta, tb),
+            np.where(both_zero, np.minimum(ta, tb), np.where(a, tb, ta)),
+        ) + 1
+        values[var] = both_one
+        arrivals[var] = arrival.astype(np.int32)
+    return values, arrivals
+
+
+def spcf_signature(
+    aig: AIG,
+    po_index: int,
+    delta: int,
+    pi_bits: np.ndarray,
+    timed: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = None,
+) -> int:
+    """Packed signature of patterns whose floating-mode delay is >= delta."""
+    if timed is None:
+        timed = timed_simulation(aig, pi_bits)
+    _values, arrivals = timed
+    po_var = lit_var(aig.pos[po_index])
+    return pack_signature(arrivals[po_var] >= delta)
+
+
+def spcf_exact_bdd(
+    aig: AIG,
+    po_index: int,
+    delta: int,
+    bdd,
+    size_limit: int = 500_000,
+) -> Optional[int]:
+    """Exact static-sensitization SPCF of a PO as a BDD reference.
+
+    Same (node, required-length) dynamic program as the truth-table
+    version, run on BDDs so circuits beyond the exhaustive-table limit get
+    exact SPCFs too.  Returns None on manager blowup (caller falls back to
+    the simulation estimate).
+    """
+    from ..bdd import FALSE, TRUE, aig_to_bdd, ref_not
+
+    po_lit = aig.pos[po_index]
+    lvl = levels(aig)
+    roots = [make_var_lit(v) for v in _cone_and_vars(aig, po_lit)]
+    node_refs_list = aig_to_bdd(bdd, aig, roots, size_limit=size_limit)
+    if node_refs_list is None:
+        return None
+    node_refs: Dict[int, int] = {0: FALSE}
+    for i, pi in enumerate(aig.pis):
+        node_refs[pi] = bdd.var(i)
+    for lit, ref in zip(roots, node_refs_list):
+        node_refs[lit_var(lit)] = ref
+
+    def lit_ref(lit: int) -> int:
+        r = node_refs[lit_var(lit)]
+        return ref_not(r) if lit_neg(lit) else r
+
+    memo: Dict[Tuple[int, int], int] = {}
+    target = (lit_var(po_lit), delta)
+    stack = [target]
+    while stack:
+        var, t = stack[-1]
+        if (var, t) in memo:
+            stack.pop()
+            continue
+        if t <= 0:
+            memo[(var, t)] = TRUE
+            stack.pop()
+            continue
+        if not aig.is_and(var) or lvl[var] < t:
+            memo[(var, t)] = FALSE
+            stack.pop()
+            continue
+        f0, f1 = aig.fanins(var)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        pending = [
+            key for key in ((v0, t - 1), (v1, t - 1)) if key not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        through0 = bdd.and_(memo[(v0, t - 1)], lit_ref(f1))
+        through1 = bdd.and_(memo[(v1, t - 1)], lit_ref(f0))
+        memo[(var, t)] = bdd.or_(through0, through1)
+        if bdd.size() > size_limit:
+            return None
+    return memo[target]
+
+
+def _cone_and_vars(aig: AIG, po_lit: int):
+    seen = set()
+    stack = [lit_var(po_lit)]
+    order = []
+    while stack:
+        v = stack.pop()
+        if v in seen or not aig.is_and(v):
+            continue
+        seen.add(v)
+        order.append(v)
+        f0, f1 = aig.fanins(v)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return order
+
+
+def make_var_lit(var: int) -> int:
+    """Positive literal of a variable (local helper)."""
+    return var << 1
+
+
+class Spcf:
+    """An SPCF in the truth-table, BDD, or signature domain."""
+
+    __slots__ = ("mode", "tt", "signature", "bdd", "ref", "count")
+
+    def __init__(
+        self,
+        mode: str,
+        tt: Optional[TruthTable] = None,
+        signature: Optional[int] = None,
+        bdd=None,
+        ref: Optional[int] = None,
+        num_pis: Optional[int] = None,
+    ):
+        self.mode = mode
+        self.tt = tt
+        self.signature = signature
+        self.bdd = bdd
+        self.ref = ref
+        if mode == "tt":
+            if tt is None:
+                raise ValueError("tt mode requires a truth table")
+            self.count = tt.count_ones()
+        elif mode == "sim":
+            if signature is None:
+                raise ValueError("sim mode requires a signature")
+            self.count = bin(signature).count("1")
+        elif mode == "bdd":
+            if bdd is None or ref is None or num_pis is None:
+                raise ValueError("bdd mode requires bdd, ref, and num_pis")
+            self.count = bdd.sat_count(ref, num_pis)
+        else:
+            raise ValueError(f"unknown SPCF mode {mode!r}")
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def __repr__(self) -> str:
+        return f"Spcf(mode={self.mode}, count={self.count})"

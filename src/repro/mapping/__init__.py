@@ -1,0 +1,30 @@
+"""Technology mapping, static timing analysis, and power estimation."""
+
+from .library import (
+    FREQUENCY_HZ,
+    NOMINAL_LOAD_FF,
+    VDD,
+    Cell,
+    default_library,
+)
+from .mapper import GateInstance, MappedNetlist, map_aig
+from .sta import analyze, mapped_delay, signal_loads
+from .power import dynamic_power_uw, switching_activities
+from .verilog import write_verilog
+
+__all__ = [
+    "FREQUENCY_HZ",
+    "NOMINAL_LOAD_FF",
+    "VDD",
+    "Cell",
+    "default_library",
+    "GateInstance",
+    "MappedNetlist",
+    "map_aig",
+    "analyze",
+    "mapped_delay",
+    "signal_loads",
+    "dynamic_power_uw",
+    "switching_activities",
+    "write_verilog",
+]

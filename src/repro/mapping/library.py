@@ -1,0 +1,119 @@
+"""A 70 nm-flavored standard-cell library (genlib-style).
+
+The paper maps to "a library of gates for the 70nm CMOS technology" whose
+exact contents are proprietary; this representative library preserves the
+relevant structure — pin counts, relative areas, relative pin-to-pin
+delays, and input/output capacitances — so mapped-delay and power *ratios*
+between flows are meaningful.  Units: delay in picoseconds at a nominal
+load, area in square-micron-ish relative units, capacitance in fF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tt import TruthTable
+
+
+class Cell:
+    """One library cell: a single-output combinational gate."""
+
+    __slots__ = (
+        "name",
+        "tt",
+        "area",
+        "intrinsic_delay",
+        "load_slope",
+        "input_cap",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tt: TruthTable,
+        area: float,
+        intrinsic_delay: float,
+        load_slope: float,
+        input_cap: float,
+    ):
+        self.name = name
+        self.tt = tt
+        self.area = area
+        self.intrinsic_delay = intrinsic_delay
+        self.load_slope = load_slope  # ps per fF of output load
+        self.input_cap = input_cap  # fF per input pin
+
+    @property
+    def num_inputs(self) -> int:
+        return self.tt.nvars
+
+    def delay(self, load: float) -> float:
+        """Pin-to-pin delay under an output load (fF)."""
+        return self.intrinsic_delay + self.load_slope * load
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name})"
+
+
+def _tt(fn, n: int) -> TruthTable:
+    return TruthTable.from_function(fn, n)
+
+
+def default_library() -> List[Cell]:
+    """The representative 70 nm cell set used throughout the benches."""
+    cells = [
+        # name, function, area, intrinsic ps, ps/fF, pin cap fF
+        Cell("INV", _tt(lambda a: not a, 1), 1.0, 11.0, 3.2, 1.0),
+        Cell("BUF", _tt(lambda a: a, 1), 1.5, 18.0, 2.2, 1.0),
+        Cell("NAND2", _tt(lambda a, b: not (a and b), 2), 2.0, 14.0, 3.6, 1.1),
+        Cell("NAND3", _tt(lambda a, b, c: not (a and b and c), 3), 3.0, 19.0, 4.2, 1.2),
+        Cell("NAND4", _tt(lambda a, b, c, d: not (a and b and c and d), 4), 4.0, 25.0, 4.9, 1.3),
+        Cell("NOR2", _tt(lambda a, b: not (a or b), 2), 2.0, 16.0, 4.1, 1.1),
+        Cell("NOR3", _tt(lambda a, b, c: not (a or b or c), 3), 3.0, 23.0, 5.0, 1.2),
+        Cell("NOR4", _tt(lambda a, b, c, d: not (a or b or c or d), 4), 4.0, 30.0, 5.8, 1.3),
+        Cell("AND2", _tt(lambda a, b: a and b, 2), 2.5, 20.0, 3.0, 1.0),
+        Cell("OR2", _tt(lambda a, b: a or b, 2), 2.5, 22.0, 3.1, 1.0),
+        Cell("XOR2", _tt(lambda a, b: a != b, 2), 4.5, 26.0, 4.4, 1.8),
+        Cell("XNOR2", _tt(lambda a, b: a == b, 2), 4.5, 26.0, 4.4, 1.8),
+        Cell(
+            "AOI21",
+            _tt(lambda a, b, c: not ((a and b) or c), 3),
+            3.0, 18.0, 4.4, 1.2,
+        ),
+        Cell(
+            "OAI21",
+            _tt(lambda a, b, c: not ((a or b) and c), 3),
+            3.0, 18.0, 4.4, 1.2,
+        ),
+        Cell(
+            "AOI22",
+            _tt(lambda a, b, c, d: not ((a and b) or (c and d)), 4),
+            4.0, 22.0, 5.0, 1.3,
+        ),
+        Cell(
+            "OAI22",
+            _tt(lambda a, b, c, d: not ((a or b) and (c or d)), 4),
+            4.0, 22.0, 5.0, 1.3,
+        ),
+        Cell(
+            "MUX2",  # s ? a : b  (pins ordered s, a, b)
+            _tt(lambda s, a, b: a if s else b, 3),
+            5.0, 28.0, 4.6, 1.5,
+        ),
+        Cell(
+            "MAJ3",
+            _tt(lambda a, b, c: (a + b + c) >= 2, 3),
+            5.5, 30.0, 5.0, 1.5,
+        ),
+    ]
+    return cells
+
+
+NOMINAL_LOAD_FF = 3.0
+"""Default output load assumed for unmapped fanout estimation."""
+
+VDD = 0.9
+"""Supply voltage (V) for the 70 nm-class node."""
+
+FREQUENCY_HZ = 1.0e9
+"""The paper reports power at 1 GHz."""

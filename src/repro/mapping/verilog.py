@@ -1,0 +1,118 @@
+"""Gate-level structural Verilog emission for mapped netlists.
+
+Lets mapped results flow into standard downstream tooling (simulators,
+STA).  Cells are emitted as primitive-gate instantiations so the output is
+self-contained — no external liberty/cell models needed to simulate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from ..tt import TruthTable
+from .mapper import GateInstance, MappedNetlist, Signal
+
+#: Verilog expression template per cell, over pin names a, b, c, d.
+_CELL_EXPR = {
+    "INV": "~a",
+    "BUF": "a",
+    "NAND2": "~(a & b)",
+    "NAND3": "~(a & b & c)",
+    "NAND4": "~(a & b & c & d)",
+    "NOR2": "~(a | b)",
+    "NOR3": "~(a | b | c)",
+    "NOR4": "~(a | b | c | d)",
+    "AND2": "(a & b)",
+    "OR2": "(a | b)",
+    "XOR2": "(a ^ b)",
+    "XNOR2": "~(a ^ b)",
+    "AOI21": "~((a & b) | c)",
+    "OAI21": "~((a | b) & c)",
+    "AOI22": "~((a & b) | (c & d))",
+    "OAI22": "~((a | b) & (c | d))",
+    "MUX2": "(a ? b : c)",
+    "MAJ3": "((a & b) | (a & c) | (b & c))",
+}
+
+_PIN_NAMES = "abcd"
+
+
+def _sop_expr(tt: TruthTable, pins: List[str]) -> str:
+    """Fallback: flat SOP expression of an arbitrary cell function."""
+    from ..sop import min_sop
+
+    cover = min_sop(tt)
+    if cover.is_empty():
+        return "1'b0"
+    terms = []
+    for cube in cover:
+        lits = [
+            (pins[var] if pol else f"~{pins[var]}")
+            for var, pol in cube.literals()
+        ]
+        terms.append(" & ".join(lits) if lits else "1'b1")
+    return " | ".join(f"({t})" for t in terms)
+
+
+def _signal_name(netlist: MappedNetlist, sig: Signal) -> str:
+    var, neg = sig
+    if var == 0:
+        return "1'b1" if neg else "1'b0"
+    aig = netlist.aig
+    if aig.is_pi(var):
+        base = aig.pi_names[aig.pis.index(var)]
+    else:
+        base = f"n{var}"
+    return f"{base}_bar" if neg else base
+
+
+def write_verilog(
+    netlist: MappedNetlist, fh: TextIO, module: str = "top"
+) -> None:
+    """Emit the mapped netlist as a structural Verilog module."""
+    aig = netlist.aig
+    inputs = list(aig.pi_names)
+    outputs = list(aig.po_names)
+    fh.write(f"module {module} (\n")
+    ports = [f"  input wire {n}" for n in inputs]
+    ports += [f"  output wire {n}" for n in outputs]
+    fh.write(",\n".join(ports))
+    fh.write("\n);\n\n")
+
+    declared = set()
+
+    def declare(sig: Signal) -> str:
+        name = _signal_name(netlist, sig)
+        var, _ = sig
+        if (
+            var != 0
+            and not aig.is_pi(var) or (aig.is_pi(var) and sig[1])
+        ):
+            if name not in declared and not name.startswith("1'b"):
+                declared.add(name)
+                fh.write(f"  wire {name};\n")
+        return name
+
+    # Declare all internal wires first.
+    for gate in netlist.gates:
+        declare(gate.output)
+    fh.write("\n")
+
+    for idx, gate in enumerate(netlist.gates):
+        pins = [_signal_name(netlist, s) for s in gate.inputs]
+        mapping = dict(zip(_PIN_NAMES, pins))
+        template = _CELL_EXPR.get(gate.cell.name)
+        if template is None:
+            expr = _sop_expr(gate.cell.tt, pins)
+        else:
+            expr = "".join(
+                mapping.get(ch, ch) if ch in _PIN_NAMES else ch
+                for ch in template
+            )
+        out = _signal_name(netlist, gate.output)
+        fh.write(f"  assign {out} = {expr};  // {gate.cell.name} g{idx}\n")
+
+    fh.write("\n")
+    for po_name, sig in zip(outputs, netlist.po_signals):
+        fh.write(f"  assign {po_name} = {_signal_name(netlist, sig)};\n")
+    fh.write("endmodule\n")

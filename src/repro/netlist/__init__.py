@@ -1,0 +1,38 @@
+"""Technology-independent networks (the paper's representation ``T``)."""
+
+from .network import NetNode, Network
+from .levels import (
+    compute_levels,
+    cover_level,
+    critical_inputs,
+    min_sops,
+    network_depth,
+    node_level,
+    tree_level,
+)
+from .renode import renode
+from .encode import encode_network
+from .to_aig import (
+    ArrivalAwareBuilder,
+    network_to_aig,
+    synthesize_into,
+    synthesize_node,
+)
+
+__all__ = [
+    "NetNode",
+    "Network",
+    "compute_levels",
+    "cover_level",
+    "critical_inputs",
+    "min_sops",
+    "network_depth",
+    "node_level",
+    "tree_level",
+    "renode",
+    "encode_network",
+    "synthesize_into",
+    "ArrivalAwareBuilder",
+    "network_to_aig",
+    "synthesize_node",
+]

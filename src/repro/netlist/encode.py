@@ -1,0 +1,62 @@
+"""CNF encoding of technology-independent networks.
+
+Each node's on-set minimum SOP is Tseitin-encoded (one auxiliary variable
+per cube).  Used by the secondary simplification's exact cube-reachability
+checks on circuits too large for global truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sat import Solver
+from .levels import min_sops
+from .network import Network
+
+
+def encode_network(
+    solver: Solver, net: Network, pi_vars: Optional[Sequence[int]] = None
+) -> Dict[int, int]:
+    """Encode the network into ``solver``; returns node id -> solver var.
+
+    ``pi_vars`` allows sharing PI variables across multiple encodings (for
+    care-set checks spanning two networks).
+    """
+    var_of: Dict[int, int] = {}
+    if pi_vars is None:
+        pi_vars = [solver.new_var() for _ in range(len(net.pis))]
+    if len(pi_vars) != len(net.pis):
+        raise ValueError("one solver variable per PI required")
+    for pi, sv in zip(net.pis, pi_vars):
+        var_of[pi] = sv
+    for nid in net.topo_order():
+        node = net.nodes[nid]
+        out = solver.new_var()
+        var_of[nid] = out
+        tt = node.tt
+        if tt.is_const0:
+            solver.add_clause([-out])
+            continue
+        if tt.is_const1:
+            solver.add_clause([out])
+            continue
+        on_cover, _ = min_sops(tt)
+        aux_vars: List[int] = []
+        for cube in on_cover:
+            lits = [
+                (var_of[node.fanins[var]] if pol else -var_of[node.fanins[var]])
+                for var, pol in cube.literals()
+            ]
+            if len(lits) == 1:
+                aux_vars.append(lits[0])
+                continue
+            aux = solver.new_var()
+            aux_vars.append(aux)
+            for l in lits:
+                solver.add_clause([-aux, l])
+            solver.add_clause([aux] + [-l for l in lits])
+        # out <-> OR(aux_vars)
+        solver.add_clause([-out] + aux_vars)
+        for a in aux_vars:
+            solver.add_clause([out, -a])
+    return var_of

@@ -1,0 +1,155 @@
+"""Synthesizing a technology-independent network back into an AIG.
+
+Each node's local function is factored algebraically (on-set and off-set
+both tried, output inversion being free) and instantiated with
+arrival-aware AND/OR trees: operands are merged earliest-first, realizing
+the optimal-depth trees assumed by the paper's level model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from ..aig import AIG, CONST0, CONST1, lit_not, lit_var
+from ..sop import Cover, factor
+from ..sop.factor import Expr
+from ..tt import TruthTable
+from .levels import min_sops
+from .network import Network
+
+
+class ArrivalAwareBuilder:
+    """AIG construction wrapper tracking levels for arrival-aware trees."""
+
+    def __init__(self, aig: AIG):
+        self.aig = aig
+        self._levels: List[int] = [0] * aig.num_vars
+
+    def level(self, lit: int) -> int:
+        var = lit_var(lit)
+        if var >= len(self._levels):
+            self._refresh()
+        return self._levels[var]
+
+    def _refresh(self) -> None:
+        old = len(self._levels)
+        self._levels.extend([0] * (self.aig.num_vars - old))
+        for var in range(old, self.aig.num_vars):
+            if self.aig.is_and(var):
+                f0, f1 = self.aig.fanins(var)
+                self._levels[var] = 1 + max(
+                    self._levels[lit_var(f0)], self._levels[lit_var(f1)]
+                )
+
+    def and_(self, a: int, b: int) -> int:
+        out = self.aig.and_(a, b)
+        if lit_var(out) >= len(self._levels):
+            # _refresh recomputes every missing level from fan-ins, which
+            # also covers nodes added to the AIG outside this builder.
+            self._refresh()
+        return out
+
+    def or_(self, a: int, b: int) -> int:
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def balanced(self, lits: Sequence[int], op: str) -> int:
+        """Arrival-aware tree: always merge the two earliest operands."""
+        if not lits:
+            return CONST1 if op == "and" else CONST0
+        heap = [(self.level(l), i, l) for i, l in enumerate(lits)]
+        heapq.heapify(heap)
+        counter = len(lits)
+        combine = self.and_ if op == "and" else self.or_
+        while len(heap) > 1:
+            _la, _ia, a = heapq.heappop(heap)
+            _lb, _ib, b = heapq.heappop(heap)
+            out = combine(a, b)
+            heapq.heappush(heap, (self.level(out), counter, out))
+            counter += 1
+        return heap[0][2]
+
+    def build_expr(self, expr: Expr, input_lits: Sequence[int]) -> int:
+        """Instantiate a factored-form expression over input literals."""
+        if expr.kind == "const0":
+            return CONST0
+        if expr.kind == "const1":
+            return CONST1
+        if expr.kind == "lit":
+            var, pol = expr.lit
+            lit = input_lits[var]
+            return lit if pol else lit_not(lit)
+        children = [self.build_expr(c, input_lits) for c in expr.children]
+        return self.balanced(children, "and" if expr.kind == "and" else "or")
+
+    def build_cover_flat(self, cover: Cover, input_lits: Sequence[int]) -> int:
+        """Instantiate a cover as flat arrival-aware AND/OR trees.
+
+        This realizes exactly the depth promised by the network level model
+        (``cover_level``); the factored form below is usually smaller but
+        can be deeper.
+        """
+        if cover.is_empty():
+            return CONST0
+        terms = []
+        for cube in cover:
+            lits = [
+                input_lits[var] if pol else lit_not(input_lits[var])
+                for var, pol in cube.literals()
+            ]
+            terms.append(self.balanced(lits, "and"))
+        return self.balanced(terms, "or")
+
+    def build_cover(self, cover: Cover, input_lits: Sequence[int]) -> int:
+        """Instantiate a cover: best of factored form and flat SOP."""
+        factored = self.build_expr(factor(cover), input_lits)
+        flat = self.build_cover_flat(cover, input_lits)
+        if self.level(flat) < self.level(factored):
+            return flat
+        return factored
+
+
+def synthesize_node(
+    builder: ArrivalAwareBuilder, tt: TruthTable, input_lits: Sequence[int]
+) -> int:
+    """Best-of-two-phases synthesis of a local function into the AIG."""
+    if tt.is_const0:
+        return CONST0
+    if tt.is_const1:
+        return CONST1
+    on_cover, off_cover = min_sops(tt)
+    lit_on = builder.build_cover(on_cover, input_lits)
+    lit_off = lit_not(builder.build_cover(off_cover, input_lits))
+    if builder.level(lit_off) < builder.level(lit_on):
+        return lit_off
+    return lit_on
+
+
+def synthesize_into(
+    builder: ArrivalAwareBuilder, net: Network, pi_lits: Sequence[int]
+) -> Dict[int, int]:
+    """Synthesize every network node into an existing AIG builder.
+
+    ``pi_lits`` gives the AIG literal for each network PI (by PI order).
+    Returns the node-id -> AIG-literal map.
+    """
+    lit_of: Dict[int, int] = {}
+    for pi, lit in zip(net.pis, pi_lits):
+        lit_of[pi] = lit
+    for nid in net.topo_order():
+        node = net.nodes[nid]
+        input_lits = [lit_of[f] for f in node.fanins]
+        lit_of[nid] = synthesize_node(builder, node.tt, input_lits)
+    return lit_of
+
+
+def network_to_aig(net: Network) -> AIG:
+    """Convert the network to a cleaned, structurally hashed AIG."""
+    aig = AIG()
+    builder = ArrivalAwareBuilder(aig)
+    pi_lits = [aig.add_pi(net.nodes[p].name) for p in net.pis]
+    lit_of = synthesize_into(builder, net, pi_lits)
+    for (nid, neg), name in zip(net.pos, net.po_names):
+        lit = lit_of[nid]
+        aig.add_po(lit_not(lit) if neg else lit, name)
+    return aig.extract()

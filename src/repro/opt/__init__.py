@@ -1,0 +1,31 @@
+"""Baseline optimization flows (the paper's SIS/ABC/DC comparators)."""
+
+from .balance import balance
+from .rewrite import refactor, rewrite
+from .speedup import speed_up
+from .exact_synthesis import ExactSynthesisResult, chain_to_aig_lit, exact_aig
+from .npn_rewrite import database_size, rewrite_exact
+from .scripts import (
+    BASELINE_FLOWS,
+    abc_resyn2rs,
+    dc_map_effort_high,
+    sis_best,
+    sis_minimize,
+)
+
+__all__ = [
+    "balance",
+    "refactor",
+    "rewrite",
+    "speed_up",
+    "ExactSynthesisResult",
+    "chain_to_aig_lit",
+    "exact_aig",
+    "database_size",
+    "rewrite_exact",
+    "BASELINE_FLOWS",
+    "abc_resyn2rs",
+    "dc_map_effort_high",
+    "sis_best",
+    "sis_minimize",
+]

@@ -1,0 +1,219 @@
+"""SAT-based exact synthesis of minimal AIGs for small functions.
+
+Finds a Boolean chain of 2-input AND gates with complemented edges (i.e. a
+minimal AIG) implementing a given truth table, by encoding "does a chain
+with r gates exist?" as CNF and asking our own CDCL solver — the classic
+Knuth/Éen formulation.  Practical for functions of up to 4 inputs with
+small gate counts; larger queries degrade gracefully via conflict budgets.
+
+The encoding: gate ``i`` selects an ordered pair of *literal* operands from
+{inputs, earlier gates} x {plain, complemented} via two one-hot selector
+groups; per-minterm value variables tie the chain to the target function,
+whose output may be taken from the last gate in either polarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sat import Solver
+from ..tt import TruthTable
+
+#: A synthesized chain: per gate, ((operand index, complemented), (operand
+#: index, complemented)); operands 0..n-1 are inputs, n+i is gate i.
+Chain = List[Tuple[Tuple[int, bool], Tuple[int, bool]]]
+
+
+class ExactSynthesisResult:
+    """A chain plus the output polarity that realizes the target."""
+
+    __slots__ = ("chain", "output_neg", "num_inputs")
+
+    def __init__(self, chain: Chain, output_neg: bool, num_inputs: int):
+        self.chain = chain
+        self.output_neg = output_neg
+        self.num_inputs = num_inputs
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.chain)
+
+    def evaluate(self, assignment: List[bool]) -> bool:
+        if not self.chain:
+            # Gate-free chains encode constants: False ^ output_neg.
+            return self.output_neg
+        values = list(assignment)
+        for (a_idx, a_neg), (b_idx, b_neg) in self.chain:
+            a = values[a_idx] ^ a_neg
+            b = values[b_idx] ^ b_neg
+            values.append(a and b)
+        return values[-1] ^ self.output_neg
+
+    def to_tt(self) -> TruthTable:
+        return TruthTable.from_function(
+            lambda *args: self.evaluate(list(args)), self.num_inputs
+        )
+
+
+def _try_size(
+    target: TruthTable, r: int, max_conflicts: Optional[int]
+) -> Optional[ExactSynthesisResult]:
+    """SAT query: is there an r-gate chain for ``target``?"""
+    n = target.nvars
+    rows = 1 << n
+    solver = Solver()
+
+    def new_var() -> int:
+        return solver.new_var()
+
+    # Value variables: inputs are fixed per row; gates get variables.
+    # val[(op, row)] -> solver literal (positive int or negation), where
+    # op in 0..n-1 are inputs and n..n+r-1 are gates.
+    gate_val: Dict[Tuple[int, int], int] = {}
+    for i in range(r):
+        for t in range(rows):
+            gate_val[(i, t)] = new_var()
+
+    true_var = new_var()
+    solver.add_clause([true_var])
+
+    def op_lit(op: int, neg: bool, row: int) -> int:
+        """Solver literal for operand value on a row."""
+        if op < n:
+            bit = bool((row >> op) & 1)
+            value = bit ^ neg
+            return true_var if value else -true_var
+        v = gate_val[(op - n, row)]
+        return -v if neg else v
+
+    # Selector variables per gate: one-hot over (operand, polarity) for
+    # each of the two AND inputs; operand ranges over inputs and earlier
+    # gates.  Symmetry-break by requiring a's operand index < b's when both
+    # plain... (cheap ordering constraint: encode a <= b by operand id).
+    sel_a: Dict[Tuple[int, int, bool], int] = {}
+    sel_b: Dict[Tuple[int, int, bool], int] = {}
+    for i in range(r):
+        ops = list(range(n + i))
+        a_group = []
+        b_group = []
+        for op in ops:
+            for neg in (False, True):
+                sel_a[(i, op, neg)] = new_var()
+                sel_b[(i, op, neg)] = new_var()
+                a_group.append(sel_a[(i, op, neg)])
+                b_group.append(sel_b[(i, op, neg)])
+        solver.add_clause(a_group)
+        solver.add_clause(b_group)
+        # At-most-one (pairwise; groups are small).
+        for grp in (a_group, b_group):
+            for x in range(len(grp)):
+                for y in range(x + 1, len(grp)):
+                    solver.add_clause([-grp[x], -grp[y]])
+
+    # Semantics: sel_a[i,op,neg] -> (gate_i_row <= op value) etc.
+    # g = a AND b:  g -> a, g -> b, (a AND b) -> g.
+    for i in range(r):
+        for op in range(n + i):
+            for neg in (False, True):
+                sa = sel_a[(i, op, neg)]
+                sb = sel_b[(i, op, neg)]
+                for t in range(rows):
+                    g = gate_val[(i, t)]
+                    v = op_lit(op, neg, t)
+                    # g -> selected operand is 1.
+                    solver.add_clause([-sa, -g, v])
+                    solver.add_clause([-sb, -g, v])
+        # (a AND b) -> g needs both selections: for every pair, clause
+        # (-sa, -sb, -va, -vb, g).  Keep it linear by introducing per-row
+        # "operand-a value" variables instead of pair expansion.
+        for t in range(rows):
+            av = new_var()
+            bv = new_var()
+            g = gate_val[(i, t)]
+            for op in range(n + i):
+                for neg in (False, True):
+                    v = op_lit(op, neg, t)
+                    solver.add_clause([-sel_a[(i, op, neg)], -v, av])
+                    solver.add_clause([-sel_a[(i, op, neg)], v, -av])
+                    solver.add_clause([-sel_b[(i, op, neg)], -v, bv])
+                    solver.add_clause([-sel_b[(i, op, neg)], v, -bv])
+            solver.add_clause([-av, -bv, g])
+            solver.add_clause([-g, av])
+            solver.add_clause([-g, bv])
+
+    # Output: last gate in some polarity matches the target on every row.
+    out_neg = new_var()
+    if r == 0:
+        return None
+    last = r - 1
+    for t in range(rows):
+        g = gate_val[(last, t)]
+        want = target.value(t)
+        # out_neg false: g == want; out_neg true: g == !want.
+        if want:
+            solver.add_clause([out_neg, g])
+            solver.add_clause([-out_neg, -g])
+        else:
+            solver.add_clause([out_neg, -g])
+            solver.add_clause([-out_neg, g])
+
+    result = solver.solve(max_conflicts=max_conflicts)
+    if result is not True:
+        return None
+    chain: Chain = []
+    for i in range(r):
+        a_pick = b_pick = None
+        for op in range(n + i):
+            for neg in (False, True):
+                if solver.model_value(sel_a[(i, op, neg)]):
+                    a_pick = (op, neg)
+                if solver.model_value(sel_b[(i, op, neg)]):
+                    b_pick = (op, neg)
+        assert a_pick is not None and b_pick is not None
+        chain.append((a_pick, b_pick))
+    return ExactSynthesisResult(
+        chain, bool(solver.model_value(out_neg)), n
+    )
+
+
+def exact_aig(
+    target: TruthTable,
+    max_gates: int = 7,
+    max_conflicts: Optional[int] = 20_000,
+) -> Optional[ExactSynthesisResult]:
+    """Smallest chain (by gate count) for ``target``, or None.
+
+    Tries r = 0, 1, ... ``max_gates``; each SAT query carries a conflict
+    budget, so a None return means "not found within budget", which for
+    small r equals a real minimality proof.
+    """
+    n = target.nvars
+    # Trivial cases: constants and single literals need no gates.
+    if target.is_const0 or target.is_const1:
+        return ExactSynthesisResult([], target.is_const1, n)
+    for i in range(n):
+        if target == TruthTable.var(i, n):
+            return None  # caller should just wire the input
+        if target == ~TruthTable.var(i, n):
+            return None
+    for r in range(1, max_gates + 1):
+        result = _try_size(target, r, max_conflicts)
+        if result is not None:
+            if result.to_tt() != target:
+                raise AssertionError("exact synthesis produced a bad chain")
+            return result
+    return None
+
+
+def chain_to_aig_lit(result: ExactSynthesisResult, builder, input_lits) -> int:
+    """Instantiate a synthesized chain into an AIG builder."""
+    from ..aig import CONST0, lit_not
+
+    if not result.chain:
+        return lit_not(CONST0) if result.output_neg else CONST0
+    values = list(input_lits)
+    for (a_idx, a_neg), (b_idx, b_neg) in result.chain:
+        a = lit_not(values[a_idx]) if a_neg else values[a_idx]
+        b = lit_not(values[b_idx]) if b_neg else values[b_idx]
+        values.append(builder.and_(a, b))
+    return lit_not(values[-1]) if result.output_neg else values[-1]

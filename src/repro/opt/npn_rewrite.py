@@ -1,0 +1,127 @@
+"""NPN-database rewriting backed by exact synthesis.
+
+The classic ABC ``rewrite`` uses a precomputed library of optimal
+structures per 4-input NPN class.  Here the database is filled lazily: the
+first time a class is seen, a budgeted exact-synthesis query produces its
+minimal chain (or None, falling back to heuristic factoring); afterwards
+every cut of that class is rewritten from the cached chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..aig import (
+    AIG,
+    CONST0,
+    cut_tt,
+    enumerate_cuts,
+    lit_neg,
+    lit_not,
+    lit_notif,
+    lit_var,
+)
+from ..netlist import ArrivalAwareBuilder, synthesize_node
+from ..tt import TruthTable, npn_canonical
+from .exact_synthesis import ExactSynthesisResult, chain_to_aig_lit, exact_aig
+
+_DB: Dict[int, Optional[ExactSynthesisResult]] = {}
+"""Lazily filled map: canonical NPN bits -> minimal chain (or None)."""
+
+
+def _lookup(tt: TruthTable, max_gates: int, max_conflicts: int):
+    """(chain for the NPN representative, transform) or (None, transform)."""
+    bits, transform = npn_canonical(tt)
+    key = (bits, tt.nvars)
+    if key not in _DB:
+        canon = transform.apply(tt)
+        _DB[key] = exact_aig(
+            canon, max_gates=max_gates, max_conflicts=max_conflicts
+        )
+    return _DB[key], transform
+
+
+def _build_from_db(
+    builder: ArrivalAwareBuilder,
+    tt: TruthTable,
+    leaf_lits,
+    max_gates: int,
+    max_conflicts: int,
+) -> Optional[int]:
+    """Instantiate ``tt`` over leaves via the NPN database, or None."""
+    chain, transform = _lookup(tt, max_gates, max_conflicts)
+    if chain is None:
+        return None
+    # chain implements canon = out_neg ^ tt(x[perm[i]] ^ input_neg[i]); to
+    # get tt back, feed pin perm[i] with leaf i xored by input_neg[i] and
+    # complement the output by transform.output_neg.
+    pins = [0] * tt.nvars
+    for i in range(tt.nvars):
+        lit = leaf_lits[i]
+        if (transform.input_neg >> i) & 1:
+            lit = lit_not(lit)
+        pins[transform.perm[i]] = lit
+    out = chain_to_aig_lit(chain, builder, pins)
+    if transform.output_neg:
+        out = lit_not(out)
+    return out
+
+
+def rewrite_exact(
+    aig: AIG,
+    k: int = 4,
+    max_cuts: int = 6,
+    max_gates: int = 5,
+    max_conflicts: int = 2000,
+    objective: str = "area",
+) -> AIG:
+    """Cut rewriting with exact-synthesis replacements where available."""
+    cuts = enumerate_cuts(aig, k, max_cuts)
+    dest = AIG()
+    builder = ArrivalAwareBuilder(dest)
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+
+    def mapped(lit: int) -> int:
+        return lit_notif(mapping[lit_var(lit)], lit_neg(lit))
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        default = builder.and_(mapped(f0), mapped(f1))
+        best = default
+
+        def key_of(lit: int, added: int):
+            level = builder.level(lit)
+            return (level, added) if objective == "delay" else (added, level)
+
+        best_key = key_of(default, 0)
+        for cut in cuts[var]:
+            if not cut or cut == (var,) or len(cut) < 3:
+                continue
+            tt = cut_tt(aig, var, list(cut))
+            tt_small, support = tt.shrink()
+            leaf_lits = [mapped(cut[i] * 2) for i in support]
+            if not leaf_lits:
+                continue
+            before = dest.num_vars
+            candidate = _build_from_db(
+                builder, tt_small, leaf_lits, max_gates, max_conflicts
+            )
+            if candidate is None:
+                candidate = synthesize_node(builder, tt_small, leaf_lits)
+            added = dest.num_vars - before
+            key = key_of(candidate, added)
+            if key < best_key:
+                best_key = key
+                best = candidate
+        mapping[var] = best
+
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(mapped(po), name)
+    return dest.extract()
+
+
+def database_size() -> int:
+    """Number of NPN classes cached so far (diagnostics)."""
+    return len(_DB)

@@ -1,0 +1,82 @@
+"""Cut-based local resynthesis (ABC's ``rewrite`` / ``refactor``).
+
+For every node, K-feasible cuts are enumerated; the cut function is
+resynthesized from its minimum SOPs (flat and factored, both phases) and
+the replacement is kept when it improves the (level, structural cost)
+objective.  ``rewrite`` uses small cuts (k=4), ``refactor`` large ones
+(k=8), mirroring the granularity split of the ABC commands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..aig import (
+    AIG,
+    CONST0,
+    cut_tt,
+    enumerate_cuts,
+    lit_neg,
+    lit_notif,
+    lit_var,
+)
+from ..netlist import ArrivalAwareBuilder, synthesize_node
+
+
+def _local_resynthesis(
+    aig: AIG, k: int, max_cuts: int, objective: str = "area"
+) -> AIG:
+    cuts = enumerate_cuts(aig, k, max_cuts)
+    dest = AIG()
+    builder = ArrivalAwareBuilder(dest)
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+
+    def mapped(lit: int) -> int:
+        return lit_notif(mapping[lit_var(lit)], lit_neg(lit))
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        default = builder.and_(mapped(f0), mapped(f1))
+        best = default
+
+        def key_of(lit: int, added: int):
+            level = builder.level(lit)
+            if objective == "delay":
+                return (level, added)
+            return (added, level)
+
+        best_key = key_of(default, 0)
+        for cut in cuts[var]:
+            if cut == (var,) or not cut or len(cut) < 3:
+                continue
+            tt = cut_tt(aig, var, list(cut))
+            tt_small, support = tt.shrink()
+            leaf_lits = [mapped(cut[i] * 2) for i in support]
+            before = dest.num_vars
+            candidate = synthesize_node(builder, tt_small, leaf_lits)
+            added = dest.num_vars - before
+            key = key_of(candidate, added)
+            if key < best_key:
+                best_key = key
+                best = candidate
+        mapping[var] = best
+
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(mapped(po), name)
+    return dest.extract()
+
+
+def rewrite(aig: AIG, objective: str = "area") -> AIG:
+    """Fine-grained cut rewriting (4-feasible cuts).
+
+    ABC's ``rewrite`` is area-oriented (the default); the delay objective
+    is used by the high-effort commercial-flow stand-in.
+    """
+    return _local_resynthesis(aig, k=4, max_cuts=6, objective=objective)
+
+
+def refactor(aig: AIG, objective: str = "area") -> AIG:
+    """Coarse-grained cone refactoring (8-feasible cuts)."""
+    return _local_resynthesis(aig, k=8, max_cuts=4, objective=objective)

@@ -1,0 +1,29 @@
+"""SIS-style ``speed_up``: critical-region collapse and re-decomposition.
+
+The classic tree-height-reduction recipe: cluster the circuit into large
+complex nodes (partial collapsing), then re-synthesize every node with
+arrival-aware trees so the critical path is re-decomposed at minimum
+height.  This is the paper's SIS comparison flow analogue.
+"""
+
+from __future__ import annotations
+
+from ..aig import AIG, depth
+from ..netlist import network_to_aig, renode
+
+
+def speed_up(aig: AIG, k: int = 10, iterations: int = 3) -> AIG:
+    """Iterated partial-collapse + balanced re-decomposition."""
+    best = aig.extract()
+    current = best
+    for _ in range(iterations):
+        net = renode(current, k=k, max_cuts=6)
+        current = network_to_aig(net)
+        if depth(current) < depth(best) or (
+            depth(current) == depth(best)
+            and current.num_ands() < best.num_ands()
+        ):
+            best = current
+        else:
+            break
+    return best

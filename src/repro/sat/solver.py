@@ -1,0 +1,444 @@
+"""A CDCL SAT solver (MiniSat-style).
+
+Features: two-literal watching, first-UIP conflict analysis with clause
+learning, VSIDS decision heuristic with an indexed heap, phase saving, Luby
+restarts, and incremental solving under assumptions.
+
+External literals use the DIMACS convention: variable ``v`` (1-based) is the
+positive literal ``v`` and the negative literal ``-v``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_UNDEF = -1
+
+
+def _ilit(ext: int) -> int:
+    """DIMACS literal -> internal literal (2*var + sign)."""
+    var = abs(ext) - 1
+    return var * 2 + (1 if ext < 0 else 0)
+
+
+def _elit(ilit: int) -> int:
+    """Internal literal -> DIMACS literal."""
+    var = (ilit >> 1) + 1
+    return -var if ilit & 1 else var
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 0-indexed."""
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class _VarHeap:
+    """Indexed max-heap on variable activity."""
+
+    def __init__(self) -> None:
+        self.heap: List[int] = []
+        self.pos: Dict[int, int] = {}
+
+    def __contains__(self, var: int) -> bool:
+        return var in self.pos
+
+    def push(self, var: int, activity: List[float]) -> None:
+        if var in self.pos:
+            return
+        self.heap.append(var)
+        self.pos[var] = len(self.heap) - 1
+        self._up(len(self.heap) - 1, activity)
+
+    def pop(self, activity: List[float]) -> int:
+        top = self.heap[0]
+        last = self.heap.pop()
+        del self.pos[top]
+        if self.heap:
+            self.heap[0] = last
+            self.pos[last] = 0
+            self._down(0, activity)
+        return top
+
+    def update(self, var: int, activity: List[float]) -> None:
+        if var in self.pos:
+            self._up(self.pos[var], activity)
+
+    def _up(self, i: int, act: List[float]) -> None:
+        heap, pos = self.heap, self.pos
+        var = heap[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if act[heap[parent]] >= act[var]:
+                break
+            heap[i] = heap[parent]
+            pos[heap[i]] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _down(self, i: int, act: List[float]) -> None:
+        heap, pos = self.heap, self.pos
+        n = len(heap)
+        var = heap[i]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            best = left
+            right = left + 1
+            if right < n and act[heap[right]] > act[heap[left]]:
+                best = right
+            if act[heap[best]] <= act[var]:
+                break
+            heap[i] = heap[best]
+            pos[heap[i]] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
+
+
+class Solver:
+    """Incremental CDCL SAT solver."""
+
+    def __init__(self) -> None:
+        self.clauses: List[List[int]] = []  # internal-literal clauses
+        self.watches: List[List[int]] = []  # per internal literal
+        self.assign: List[int] = []  # per var: _UNDEF / 0 (false) / 1 (true)
+        self.level: List[int] = []
+        self.reason: List[int] = []  # clause index or _UNDEF
+        self.trail: List[int] = []  # assigned internal literals
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.activity: List[float] = []
+        self.var_inc = 1.0
+        self.phase: List[int] = []
+        self.heap = _VarHeap()
+        self.ok = True
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+
+    # -- variables and clauses ------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its 1-based DIMACS index."""
+        self.assign.append(_UNDEF)
+        self.level.append(0)
+        self.reason.append(_UNDEF)
+        self.activity.append(0.0)
+        self.phase.append(0)
+        self.watches.append([])
+        self.watches.append([])
+        var = len(self.assign) - 1
+        self.heap.push(var, self.activity)
+        return var + 1
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.assign)
+
+    def _ensure_var(self, ext: int) -> None:
+        while abs(ext) > self.num_vars:
+            self.new_var()
+
+    def add_clause(self, ext_lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self.ok:
+            return False
+        if self.trail_lim:
+            raise RuntimeError("clauses may only be added at decision level 0")
+        lits: List[int] = []
+        seen = set()
+        for ext in ext_lits:
+            if ext == 0:
+                raise ValueError("literal 0 is invalid")
+            self._ensure_var(ext)
+            il = _ilit(ext)
+            if il ^ 1 in seen:
+                return True  # tautology
+            if il in seen:
+                continue
+            value = self._value(il)
+            if value == 1 and self.level[il >> 1] == 0:
+                return True  # satisfied at root
+            if value == 0 and self.level[il >> 1] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(il)
+            lits.append(il)
+        if not lits:
+            self.ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], _UNDEF):
+                self.ok = False
+                return False
+            self.ok = self._propagate() == _UNDEF
+            return self.ok
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        self.watches[lits[0] ^ 1].append(idx)
+        self.watches[lits[1] ^ 1].append(idx)
+        return True
+
+    # -- assignment helpers ----------------------------------------------------
+
+    def _value(self, ilit: int) -> int:
+        """0/1 value of an internal literal, or _UNDEF."""
+        v = self.assign[ilit >> 1]
+        if v == _UNDEF:
+            return _UNDEF
+        return v ^ (ilit & 1)
+
+    def _enqueue(self, ilit: int, reason: int) -> bool:
+        value = self._value(ilit)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = ilit >> 1
+        self.assign[var] = 1 ^ (ilit & 1)
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = self.assign[var]
+        self.trail.append(ilit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or _UNDEF."""
+        while self.qhead < len(self.trail):
+            ilit = self.trail[self.qhead]
+            self.qhead += 1
+            self.num_propagations += 1
+            watch_list = self.watches[ilit]
+            new_list: List[int] = []
+            conflict = _UNDEF
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Normalize: watched literal being falsified is ilit^1.
+                falsified = ilit ^ 1
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_list.append(ci)
+                    continue
+                # Search for a replacement watch.
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != 0:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches[clause[1] ^ 1].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                new_list.append(ci)
+                if not self._enqueue(first, ci):
+                    conflict = ci
+                    new_list.extend(watch_list[i:])
+                    break
+            self.watches[ilit] = new_list
+            if conflict != _UNDEF:
+                self.qhead = len(self.trail)
+                return conflict
+        return _UNDEF
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(self.num_vars):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        self.heap.update(var, self.activity)
+
+    def _analyze(self, conflict: int) -> (List[int], int):  # type: ignore[syntax]
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        ilit = _UNDEF
+        index = len(self.trail) - 1
+        clause_idx = conflict
+        while True:
+            clause = self.clauses[clause_idx]
+            start = 0 if ilit == _UNDEF else 1
+            for q in clause[start:]:
+                var = q >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find the next trail literal to resolve on.
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            ilit = self.trail[index]
+            index -= 1
+            var = ilit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause_idx = self.reason[var]
+            # Put the resolved literal first so it is skipped above.
+            clause = self.clauses[clause_idx]
+            if clause[0] != ilit:
+                pos = clause.index(ilit)
+                clause[0], clause[pos] = clause[pos], clause[0]
+        learned[0] = ilit ^ 1
+        if len(learned) == 1:
+            bt_level = 0
+        else:
+            # Second-highest decision level among learned literals.
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self.level[learned[i] >> 1] > self.level[learned[max_i] >> 1]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            bt_level = self.level[learned[1] >> 1]
+        return learned, bt_level
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for ilit in reversed(self.trail[limit:]):
+            var = ilit >> 1
+            self.assign[var] = _UNDEF
+            self.reason[var] = _UNDEF
+            self.heap.push(var, self.activity)
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    def _learn(self, learned: List[int]) -> None:
+        if len(learned) == 1:
+            self._enqueue(learned[0], _UNDEF)
+            return
+        idx = len(self.clauses)
+        self.clauses.append(learned)
+        self.watches[learned[0] ^ 1].append(idx)
+        self.watches[learned[1] ^ 1].append(idx)
+        self._enqueue(learned[0], idx)
+
+    # -- decisions ---------------------------------------------------------------
+
+    def _decide(self) -> int:
+        while self.heap.heap:
+            var = self.heap.pop(self.activity)
+            if self.assign[var] == _UNDEF:
+                return var * 2 + (1 if self.phase[var] == 0 else 0)
+        return _UNDEF
+
+    # -- main solve loop -----------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Solve under assumptions; True = SAT (model available).
+
+        With ``max_conflicts`` set, returns None (unknown) once the budget
+        is exhausted — callers treat unknown conservatively.
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() != _UNDEF:
+            self.ok = False
+            return False
+        for ext in assumptions:
+            self._ensure_var(ext)
+        restart_num = 0
+        conflict_budget = 64 * luby(restart_num)
+        conflicts_here = 0
+        total_conflicts = 0
+        while True:
+            if max_conflicts is not None and total_conflicts > max_conflicts:
+                self._backtrack(0)
+                return None
+            conflict = self._propagate()
+            if conflict != _UNDEF:
+                self.num_conflicts += 1
+                conflicts_here += 1
+                total_conflicts += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                if self._decision_level() <= len(assumptions):
+                    # Conflict forced by assumptions alone.
+                    self._backtrack(0)
+                    return False
+                learned, bt_level = self._analyze(conflict)
+                self._backtrack(max(bt_level, 0))
+                if self._decision_level() < len(assumptions):
+                    # Learned unit (or backjump) jumped into the assumption
+                    # prefix; replay assumptions from scratch.
+                    self._learn(learned)
+                    self._backtrack(0)
+                    continue
+                self._learn(learned)
+                self.var_inc /= 0.95
+                continue
+            if conflicts_here >= conflict_budget:
+                restart_num += 1
+                conflict_budget = 64 * luby(restart_num)
+                conflicts_here = 0
+                self._backtrack(0)
+                continue
+            if self._decision_level() < len(assumptions):
+                ext = assumptions[self._decision_level()]
+                ilit = _ilit(ext)
+                value = self._value(ilit)
+                if value == 0:
+                    return False
+                self.trail_lim.append(len(self.trail))
+                if value == _UNDEF:
+                    self._enqueue(ilit, _UNDEF)
+                continue
+            decision = self._decide()
+            if decision == _UNDEF:
+                return True
+            self.num_decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, _UNDEF)
+
+    def reset(self) -> None:
+        """Backtrack to the root level (allows adding clauses after solve)."""
+        self._backtrack(0)
+
+    # -- model access ------------------------------------------------------------
+
+    def model_value(self, ext: int) -> Optional[bool]:
+        """Value of a DIMACS literal in the current model (None if free)."""
+        var = abs(ext) - 1
+        if var >= self.num_vars or self.assign[var] == _UNDEF:
+            return None
+        val = bool(self.assign[var])
+        return val if ext > 0 else not val
+
+    def model(self) -> List[bool]:
+        """Full model as a list indexed by variable-1 (free vars -> False)."""
+        return [self.assign[v] == 1 for v in range(self.num_vars)]

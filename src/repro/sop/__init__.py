@@ -1,0 +1,22 @@
+"""Cubes, SOP covers, two-level minimization, and algebraic factoring."""
+
+from .cube import Cube
+from .sop import Cover
+from .isop import isop
+from .qm import minimize_exact, prime_implicants
+from .espresso import espresso, min_sop
+from .factor import Expr, divide, factor, kernels
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "isop",
+    "minimize_exact",
+    "prime_implicants",
+    "espresso",
+    "min_sop",
+    "Expr",
+    "divide",
+    "factor",
+    "kernels",
+]

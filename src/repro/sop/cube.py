@@ -1,0 +1,166 @@
+"""Cubes (product terms) over a fixed variable count.
+
+A cube is a conjunction of literals, encoded positionally by two bit masks:
+
+* ``mask`` — bit ``i`` set iff variable ``i`` appears in the cube;
+* ``value`` — for variables in ``mask``, bit ``i`` gives the required
+  polarity (1 = positive literal).  Bits outside ``mask`` are kept zero so
+  cubes compare and hash canonically.
+
+The full cube (``mask == 0``) is the tautology.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..tt import TruthTable, cube_tt
+
+
+class Cube:
+    """Immutable product term."""
+
+    __slots__ = ("mask", "value", "nvars")
+
+    def __init__(self, mask: int, value: int, nvars: int):
+        self.mask = mask
+        self.value = value & mask
+        self.nvars = nvars
+        if mask >> nvars:
+            raise ValueError("cube mask exceeds variable count")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def full(cls, nvars: int) -> "Cube":
+        """The tautology cube (no literals)."""
+        return cls(0, 0, nvars)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, nvars: int) -> "Cube":
+        """The minterm cube fixing every variable."""
+        return cls((1 << nvars) - 1, minterm, nvars)
+
+    @classmethod
+    def from_literals(cls, literals: List[Tuple[int, bool]], nvars: int) -> "Cube":
+        """Build from ``(variable, polarity)`` pairs."""
+        mask = value = 0
+        for var, pol in literals:
+            if (mask >> var) & 1 and bool((value >> var) & 1) != pol:
+                raise ValueError(f"contradictory literals on variable {var}")
+            mask |= 1 << var
+            if pol:
+                value |= 1 << var
+        return cls(mask, value, nvars)
+
+    @classmethod
+    def parse(cls, text: str) -> "Cube":
+        """Parse PLA-style cube text: '1' pos, '0' neg, '-' absent.
+
+        The leftmost character is the highest-numbered variable, matching the
+        usual PLA convention.
+        """
+        nvars = len(text)
+        mask = value = 0
+        for pos, ch in enumerate(text):
+            var = nvars - 1 - pos
+            if ch == "1":
+                mask |= 1 << var
+                value |= 1 << var
+            elif ch == "0":
+                mask |= 1 << var
+            elif ch != "-":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(mask, value, nvars)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cube)
+            and self.mask == other.mask
+            and self.value == other.value
+            and self.nvars == other.nvars
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mask, self.value, self.nvars))
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r})"
+
+    def to_string(self) -> str:
+        """PLA-style text, leftmost char = highest variable."""
+        chars = []
+        for var in range(self.nvars - 1, -1, -1):
+            if (self.mask >> var) & 1:
+                chars.append("1" if (self.value >> var) & 1 else "0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    # -- queries -----------------------------------------------------------
+
+    def num_literals(self) -> int:
+        """Number of literals in the cube."""
+        return bin(self.mask).count("1")
+
+    def literals(self) -> Iterator[Tuple[int, bool]]:
+        """Iterate ``(variable, polarity)`` pairs."""
+        for var in range(self.nvars):
+            if (self.mask >> var) & 1:
+                yield var, bool((self.value >> var) & 1)
+
+    def contains_minterm(self, minterm: int) -> bool:
+        """True iff the minterm satisfies every literal."""
+        return (minterm ^ self.value) & self.mask == 0
+
+    def covers(self, other: "Cube") -> bool:
+        """True iff every minterm of ``other`` is in ``self``."""
+        if self.mask & ~other.mask:
+            return False
+        return (self.value ^ other.value) & self.mask == 0
+
+    def intersect(self, other: "Cube") -> Optional["Cube"]:
+        """Cube intersection, or None if empty."""
+        common = self.mask & other.mask
+        if (self.value ^ other.value) & common:
+            return None
+        return Cube(
+            self.mask | other.mask, self.value | other.value, self.nvars
+        )
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables on which the cubes conflict."""
+        conflict = (self.value ^ other.value) & self.mask & other.mask
+        return bin(conflict).count("1")
+
+    # -- transforms ----------------------------------------------------------
+
+    def without(self, var: int) -> "Cube":
+        """Drop variable ``var``'s literal (expand the cube)."""
+        bit = 1 << var
+        return Cube(self.mask & ~bit, self.value & ~bit, self.nvars)
+
+    def with_literal(self, var: int, pol: bool) -> "Cube":
+        """Add (or overwrite) a literal."""
+        bit = 1 << var
+        value = (self.value | bit) if pol else (self.value & ~bit)
+        return Cube(self.mask | bit, value, self.nvars)
+
+    def cofactor(self, var: int, pol: bool) -> Optional["Cube"]:
+        """Cofactor with respect to ``x_var = pol``; None if contradictory."""
+        bit = 1 << var
+        if self.mask & bit:
+            if bool(self.value & bit) != pol:
+                return None
+            return self.without(var)
+        return self
+
+    def to_tt(self) -> TruthTable:
+        """Truth table of the cube."""
+        return cube_tt(self.mask, self.value, self.nvars)
+
+    def size(self) -> int:
+        """Number of minterms covered."""
+        return 1 << (self.nvars - self.num_literals())

@@ -1,0 +1,134 @@
+"""Heuristic two-level minimization (espresso-style EXPAND/IRREDUNDANT/REDUCE).
+
+Operates on truth tables for the on/dc sets, which keeps every containment
+check exact; intended for node-local functions of modest support (<= ~14
+variables), which is the regime of the technology-independent network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..tt import TruthTable
+from .cube import Cube
+from .isop import isop
+from .qm import EXACT_VAR_LIMIT, minimize_exact
+from .sop import Cover
+
+
+def _supercube(tt: TruthTable) -> Cube:
+    """Smallest cube containing the on-set of ``tt`` (tt must be non-zero)."""
+    mask = value = 0
+    for i in range(tt.nvars):
+        var = TruthTable.var(i, tt.nvars)
+        if tt.implies(var):
+            mask |= 1 << i
+            value |= 1 << i
+        elif tt.implies(~var):
+            mask |= 1 << i
+    return Cube(mask, value, tt.nvars)
+
+
+def _expand(cover: Cover, off: TruthTable) -> Cover:
+    """Enlarge each cube maximally against the off-set, then prune."""
+    expanded: List[Cube] = []
+    for cube in cover:
+        current = cube
+        # Try dropping literals; order literals by how blocked they are so
+        # the freest directions are taken first.
+        literals = sorted(
+            (var for var, _pol in cube.literals()),
+            key=lambda var: (current.without(var).to_tt() & off).count_ones(),
+        )
+        for var in literals:
+            candidate = current.without(var)
+            if (candidate.to_tt() & off).is_const0:
+                current = candidate
+        expanded.append(current)
+    return Cover(expanded, cover.nvars).single_cube_containment()
+
+
+def _irredundant(cover: Cover, on: TruthTable) -> Cover:
+    """Drop cubes whose removal keeps the on-set covered."""
+    cubes = list(cover.cubes)
+    tts = [c.to_tt() for c in cubes]
+    # Try removing the biggest cubes... actually remove cheap-to-lose cubes
+    # first: ones whose minterms are mostly covered elsewhere.
+    order = sorted(range(len(cubes)), key=lambda i: -cubes[i].num_literals())
+    alive = [True] * len(cubes)
+    for i in order:
+        rest = TruthTable.const(False, cover.nvars)
+        for j, t in enumerate(tts):
+            if alive[j] and j != i:
+                rest |= t
+        if on.implies(rest):
+            alive[i] = False
+    return Cover([c for c, a in zip(cubes, alive) if a], cover.nvars)
+
+
+def _reduce(cover: Cover, on: TruthTable) -> Cover:
+    """Shrink each cube to the supercube of its essential on-set part.
+
+    Processed sequentially against the *current* cover (already-reduced
+    cubes plus the not-yet-processed originals), so the cover keeps
+    covering the on-set at every step — shrinking against a frozen
+    snapshot could drop minterms shared by two cubes from both.
+    """
+    cubes = list(cover.cubes)
+    tts = [c.to_tt() for c in cubes]
+    reduced: List[Cube] = []
+    reduced_tts: List[TruthTable] = []
+    for i, cube in enumerate(cubes):
+        rest = TruthTable.const(False, cover.nvars)
+        for t in reduced_tts:
+            rest |= t
+        for t in tts[i + 1 :]:
+            rest |= t
+        required = tts[i] & on & ~rest
+        if required.is_const0:
+            continue  # fully redundant
+        shrunk = _supercube(required)
+        reduced.append(shrunk)
+        reduced_tts.append(shrunk.to_tt())
+    return Cover(reduced, cover.nvars)
+
+
+def espresso(
+    on: TruthTable,
+    dc: Optional[TruthTable] = None,
+    max_iters: int = 5,
+) -> Cover:
+    """Heuristically minimized cover of ``on`` with don't-cares ``dc``."""
+    nvars = on.nvars
+    if dc is None:
+        dc = TruthTable.const(False, nvars)
+    if on.is_const0:
+        return Cover.empty(nvars)
+    if (~on & ~dc).is_const0:
+        return Cover.tautology(nvars)
+    off = ~(on | dc)
+    cover = isop(on, on | dc)
+    best = cover
+    best_cost = (len(best), best.num_literals())
+    for _ in range(max_iters):
+        cover = _expand(cover, off)
+        cover = _irredundant(cover, on)
+        cost = (len(cover), cover.num_literals())
+        if cost < best_cost:
+            best, best_cost = cover, cost
+        else:
+            break
+        cover = _reduce(cover, on)
+    return best
+
+
+def min_sop(on: TruthTable, dc: Optional[TruthTable] = None) -> Cover:
+    """Minimum SOP cover: exact for small supports, heuristic beyond.
+
+    This is the "minimum sum-of-products" the paper's node-level model and
+    `Simplify` operate on.
+    """
+    support_size = len(on.support()) if dc is None else len((on | dc).support())
+    if support_size <= EXACT_VAR_LIMIT and on.nvars <= EXACT_VAR_LIMIT + 3:
+        return minimize_exact(on, dc)
+    return espresso(on, dc)

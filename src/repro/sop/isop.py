@@ -1,0 +1,68 @@
+"""Irredundant sum-of-products via the Minato-Morreale procedure.
+
+:func:`isop` computes an irredundant cover ``F`` with ``lower <= F <= upper``
+from truth tables of the lower bound (on-set) and upper bound (on-set union
+don't-care set).  This is the standard ISOP recursion used by ABC's
+refactoring and by our network node SOPs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..tt import TruthTable
+from .cube import Cube
+from .sop import Cover
+
+
+def _pick_var(lower: TruthTable, upper: TruthTable) -> int:
+    """Split on the highest variable that either bound depends on."""
+    for i in range(lower.nvars - 1, -1, -1):
+        if lower.depends_on(i) or upper.depends_on(i):
+            return i
+    raise AssertionError("called on constant bounds")
+
+
+def _isop_rec(lower: TruthTable, upper: TruthTable) -> List[Cube]:
+    if lower.is_const0:
+        return []
+    if upper.is_const1:
+        return [Cube.full(lower.nvars)]
+    var = _pick_var(lower, upper)
+    l0 = lower.cofactor(var, False)
+    l1 = lower.cofactor(var, True)
+    u0 = upper.cofactor(var, False)
+    u1 = upper.cofactor(var, True)
+    # Cubes that must contain the negative / positive literal of `var`.
+    f0 = _isop_rec(l0 & ~u1, u0)
+    f1 = _isop_rec(l1 & ~u0, u1)
+    covered0 = _tt_of(f0, lower.nvars)
+    covered1 = _tt_of(f1, lower.nvars)
+    # Remainder can be covered without mentioning `var`.
+    l_rest = (l0 & ~covered0) | (l1 & ~covered1)
+    f_rest = _isop_rec(l_rest, u0 & u1)
+    cubes = [c.with_literal(var, False) for c in f0]
+    cubes += [c.with_literal(var, True) for c in f1]
+    cubes += f_rest
+    return cubes
+
+
+def _tt_of(cubes: List[Cube], nvars: int) -> TruthTable:
+    t = TruthTable.const(False, nvars)
+    for c in cubes:
+        t |= c.to_tt()
+    return t
+
+
+def isop(lower: TruthTable, upper: Optional[TruthTable] = None) -> Cover:
+    """Irredundant SOP cover ``F`` with ``lower <= F <= upper``.
+
+    With ``upper`` omitted the cover is an exact ISOP of ``lower``.
+    """
+    if upper is None:
+        upper = lower
+    if lower.nvars != upper.nvars:
+        raise ValueError("bound variable counts differ")
+    if not lower.implies(upper):
+        raise ValueError("lower bound not contained in upper bound")
+    return Cover(_isop_rec(lower, upper), lower.nvars)

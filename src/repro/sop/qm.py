@@ -1,0 +1,164 @@
+"""Exact two-level minimization (Quine-McCluskey + unate covering).
+
+Used for the paper's "minimum SOP" of node-local functions when the support
+is small enough for exactness; larger functions fall back to the heuristic
+minimizer in :mod:`repro.sop.espresso`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..tt import TruthTable
+from .cube import Cube
+from .sop import Cover
+
+EXACT_VAR_LIMIT = 9
+"""Above this support size exact minimization is not attempted."""
+
+_COVER_BRANCH_LIMIT = 4000
+"""Branch-and-bound node budget before falling back to the greedy cover."""
+
+
+def prime_implicants(on: TruthTable, dc: Optional[TruthTable] = None) -> List[Cube]:
+    """All prime implicants of ``on`` with don't-cares ``dc``.
+
+    Classic iterative merging: start from minterm cubes of ``on | dc`` and
+    repeatedly combine distance-1 pairs; unmerged cubes are prime.
+    """
+    nvars = on.nvars
+    care_on = on
+    full = on | dc if dc is not None else on
+    # Group cubes as (mask, value) pairs; merge pairs differing in exactly
+    # one cared variable.
+    current: Set[Tuple[int, int]] = {
+        ((1 << nvars) - 1, m) for m in full.minterms()
+    }
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        by_mask: Dict[int, List[int]] = {}
+        for mask, value in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            vset = set(values)
+            for value in values:
+                for i in range(nvars):
+                    bit = 1 << i
+                    if not mask & bit:
+                        continue
+                    other = value ^ bit
+                    if other in vset:
+                        used.add((mask, value))
+                        used.add((mask, other))
+                        merged.add((mask & ~bit, value & ~bit & (mask & ~bit)))
+        primes.update(current - used)
+        current = merged
+    cubes = [Cube(mask, value, nvars) for mask, value in primes]
+    # Keep only primes that intersect the true on-set (pure-DC primes are
+    # useless for covering).
+    return [c for c in cubes if not (c.to_tt() & care_on).is_const0]
+
+
+class _CoverSearch:
+    """Branch-and-bound minimum unate covering with a node budget."""
+
+    def __init__(self, rows: List[int], row_costs: List[int]):
+        # rows[i]: bitmask of elements covered by candidate i.
+        self.rows = rows
+        self.row_costs = row_costs
+        self.nodes = 0
+        self.best: Optional[List[int]] = None
+        self.best_cost = float("inf")
+
+    def solve(self, universe: int) -> Optional[List[int]]:
+        self._search(universe, [], 0)
+        return self.best
+
+    def _search(self, remaining: int, chosen: List[int], cost: int) -> None:
+        if self.nodes > _COVER_BRANCH_LIMIT:
+            return
+        self.nodes += 1
+        if cost >= self.best_cost:
+            return
+        if remaining == 0:
+            self.best = list(chosen)
+            self.best_cost = cost
+            return
+        # Branch on the least-covered element for a tight search tree.
+        target = self._hardest_element(remaining)
+        candidates = [
+            i for i, row in enumerate(self.rows) if row & (1 << target)
+        ]
+        candidates.sort(key=lambda i: (self.row_costs[i], -bin(self.rows[i] & remaining).count("1")))
+        for i in candidates:
+            chosen.append(i)
+            self._search(remaining & ~self.rows[i], chosen, cost + self.row_costs[i])
+            chosen.pop()
+
+    def _hardest_element(self, remaining: int) -> int:
+        best_elem = -1
+        best_count = None
+        bits = remaining
+        while bits:
+            low = bits & -bits
+            elem = low.bit_length() - 1
+            bits ^= low
+            count = sum(1 for row in self.rows if row & (1 << elem))
+            if best_count is None or count < best_count:
+                best_count = count
+                best_elem = elem
+        return best_elem
+
+
+def _greedy_cover(rows: List[int], row_costs: List[int], universe: int) -> List[int]:
+    chosen: List[int] = []
+    remaining = universe
+    while remaining:
+        best_i = max(
+            range(len(rows)),
+            key=lambda i: (
+                bin(rows[i] & remaining).count("1") / max(row_costs[i], 1),
+                -row_costs[i],
+            ),
+        )
+        if rows[best_i] & remaining == 0:
+            raise AssertionError("uncoverable element in greedy cover")
+        chosen.append(best_i)
+        remaining &= ~rows[best_i]
+    return chosen
+
+
+def minimize_exact(on: TruthTable, dc: Optional[TruthTable] = None) -> Cover:
+    """Minimum-cube (literal-count tie-break) SOP cover of ``on`` given ``dc``.
+
+    Exact when the prime/minterm counts stay within the branch budget,
+    otherwise greedily near-optimal; in both cases the result is a valid
+    irredundant cover.
+    """
+    nvars = on.nvars
+    if on.is_const0:
+        return Cover.empty(nvars)
+    if dc is not None and (on | dc).is_const1 and (~on & ~dc).is_const0:
+        pass  # fall through; tautology handled by covering naturally
+    primes = prime_implicants(on, dc)
+    minterm_list = list(on.minterms())
+    index_of = {m: i for i, m in enumerate(minterm_list)}
+    universe = (1 << len(minterm_list)) - 1
+    rows = []
+    costs = []
+    for p in primes:
+        row = 0
+        for m in minterm_list:
+            if p.contains_minterm(m):
+                row |= 1 << index_of[m]
+        rows.append(row)
+        # Cost dominated by cube count, with literals as tie-break.
+        costs.append(1000 + p.num_literals())
+    search = _CoverSearch(rows, costs)
+    chosen = search.solve(universe)
+    if chosen is None:
+        chosen = _greedy_cover(rows, costs, universe)
+    cover = Cover([primes[i] for i in chosen], nvars)
+    return cover.single_cube_containment()

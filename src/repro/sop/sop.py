@@ -1,0 +1,102 @@
+"""Sum-of-products covers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..tt import TruthTable
+from .cube import Cube
+
+
+class Cover:
+    """A sum-of-products cover: an OR of :class:`Cube` terms."""
+
+    __slots__ = ("cubes", "nvars")
+
+    def __init__(self, cubes: Iterable[Cube], nvars: int):
+        self.cubes: List[Cube] = list(cubes)
+        self.nvars = nvars
+        for c in self.cubes:
+            if c.nvars != nvars:
+                raise ValueError("cube/cover variable-count mismatch")
+
+    @classmethod
+    def empty(cls, nvars: int) -> "Cover":
+        """The constant-0 cover."""
+        return cls([], nvars)
+
+    @classmethod
+    def tautology(cls, nvars: int) -> "Cover":
+        """The constant-1 cover (single full cube)."""
+        return cls([Cube.full(nvars)], nvars)
+
+    @classmethod
+    def parse(cls, lines: Iterable[str]) -> "Cover":
+        """Parse PLA-style cube lines (all the same width)."""
+        cubes = [Cube.parse(line.strip()) for line in lines if line.strip()]
+        if not cubes:
+            raise ValueError("cannot infer nvars from an empty cover")
+        return cls(cubes, cubes[0].nvars)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __repr__(self) -> str:
+        return f"Cover([{', '.join(c.to_string() for c in self.cubes)}])"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cover)
+            and self.nvars == other.nvars
+            and self.to_tt() == other.to_tt()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.to_tt())
+
+    # -- queries -----------------------------------------------------------
+
+    def num_literals(self) -> int:
+        """Total literal count (the classic area proxy)."""
+        return sum(c.num_literals() for c in self.cubes)
+
+    def to_tt(self) -> TruthTable:
+        """Truth table of the cover."""
+        t = TruthTable.const(False, self.nvars)
+        for c in self.cubes:
+            t |= c.to_tt()
+        return t
+
+    def contains_minterm(self, minterm: int) -> bool:
+        return any(c.contains_minterm(minterm) for c in self.cubes)
+
+    def is_empty(self) -> bool:
+        return not self.cubes
+
+    # -- transforms ----------------------------------------------------------
+
+    def single_cube_containment(self) -> "Cover":
+        """Drop cubes covered by another single cube of the cover."""
+        kept: List[Cube] = []
+        # Larger cubes first so a cube is only compared against cubes that
+        # could possibly cover it.
+        ordered = sorted(self.cubes, key=lambda c: c.num_literals())
+        for c in ordered:
+            if not any(k.covers(c) for k in kept):
+                kept.append(c)
+        return Cover(kept, self.nvars)
+
+    def cofactor(self, var: int, pol: bool) -> "Cover":
+        """Cover cofactor with respect to ``x_var = pol``."""
+        cubes = []
+        for c in self.cubes:
+            cc = c.cofactor(var, pol)
+            if cc is not None:
+                cubes.append(cc)
+        return Cover(cubes, self.nvars)
+
+    def with_cube(self, cube: Cube) -> "Cover":
+        return Cover(self.cubes + [cube], self.nvars)

@@ -1,0 +1,13 @@
+"""Truth-table representation of small Boolean functions."""
+
+from .truthtable import MAX_VARS, TruthTable, cube_tt
+from .canon import NPNTransform, npn_canonical, p_canonical
+
+__all__ = [
+    "MAX_VARS",
+    "TruthTable",
+    "cube_tt",
+    "NPNTransform",
+    "npn_canonical",
+    "p_canonical",
+]

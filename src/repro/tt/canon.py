@@ -1,0 +1,99 @@
+"""Canonical forms of small truth tables.
+
+Two canonicalizations are provided:
+
+* :func:`p_canonical` — canonical under input *permutation* only; used by the
+  technology mapper to match cut functions against library-cell functions
+  whose pins are freely assignable but whose polarities are fixed.
+* :func:`npn_canonical` — canonical under input negation, input permutation
+  and output negation (NPN); used by cut rewriting to cache synthesized
+  replacement structures per function class.
+
+Both are exhaustive over the permutation group, which is fine for the ≤ 5
+variables these are used with (5! = 120 permutations, x 2^6 polarities for
+NPN on 5 vars = 7680 variants).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Tuple
+
+from .truthtable import TruthTable
+
+
+def p_canonical(tt: TruthTable) -> Tuple[int, Tuple[int, ...]]:
+    """Smallest table bits over all input permutations.
+
+    Returns ``(bits, perm)`` such that ``tt.permute(perm).bits == bits``.
+    """
+    best_bits = None
+    best_perm: Tuple[int, ...] = tuple(range(tt.nvars))
+    for perm in permutations(range(tt.nvars)):
+        bits = tt.permute(perm).bits
+        if best_bits is None or bits < best_bits:
+            best_bits = bits
+            best_perm = perm
+    assert best_bits is not None
+    return best_bits, best_perm
+
+
+class NPNTransform:
+    """Record of the transform that maps a function to its NPN class.
+
+    ``canonical = output_neg XOR f(x[perm[i]] XOR input_neg[i])`` — i.e. apply
+    input flips, then the permutation, then the output flip.
+    """
+
+    __slots__ = ("perm", "input_neg", "output_neg")
+
+    def __init__(self, perm: Tuple[int, ...], input_neg: int, output_neg: bool):
+        self.perm = perm
+        self.input_neg = input_neg
+        self.output_neg = output_neg
+
+    def apply(self, tt: TruthTable) -> TruthTable:
+        """Apply this transform to a truth table."""
+        out = tt
+        for i in range(tt.nvars):
+            if (self.input_neg >> i) & 1:
+                out = out.flip(i)
+        out = out.permute(self.perm)
+        if self.output_neg:
+            out = ~out
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"NPNTransform(perm={self.perm}, input_neg={self.input_neg:b}, "
+            f"output_neg={self.output_neg})"
+        )
+
+
+def npn_canonical(tt: TruthTable) -> Tuple[int, NPNTransform]:
+    """Smallest table bits over the NPN group of the function.
+
+    Returns ``(bits, transform)`` with ``transform.apply(tt).bits == bits``.
+    Exhaustive; intended for nvars <= 4 (the rewriting cut size).
+    """
+    best_bits = None
+    best_tf = NPNTransform(tuple(range(tt.nvars)), 0, False)
+    for input_neg in range(1 << tt.nvars):
+        flipped = tt
+        for i in range(tt.nvars):
+            if (input_neg >> i) & 1:
+                flipped = flipped.flip(i)
+        for perm in permutations(range(tt.nvars)):
+            permuted = flipped.permute(perm)
+            for output_neg in (False, True):
+                bits = (~permuted).bits if output_neg else permuted.bits
+                if best_bits is None or bits < best_bits:
+                    best_bits = bits
+                    best_tf = NPNTransform(perm, input_neg, output_neg)
+    assert best_bits is not None
+    return best_bits, best_tf
+
+
+def all_input_orders(n: int) -> List[Tuple[int, ...]]:
+    """All permutations of ``range(n)`` (convenience for matching loops)."""
+    return list(permutations(range(n)))

@@ -1,0 +1,93 @@
+"""Tests for the adder generators (case-study workloads)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import (
+    brent_kung_adder,
+    carry_lookahead_adder,
+    carry_select_adder,
+    carry_skip_adder,
+    kogge_stone_adder,
+    optimal_cla_levels,
+    ripple_carry_adder,
+    sklansky_adder,
+)
+from repro.aig import depth, evaluate
+
+GENERATORS = [
+    ripple_carry_adder,
+    carry_lookahead_adder,
+    carry_select_adder,
+    carry_skip_adder,
+    kogge_stone_adder,
+    sklansky_adder,
+    brent_kung_adder,
+]
+
+
+def check_adds(aig, n, cases):
+    for a, b, c in cases:
+        bits = (
+            [bool((a >> i) & 1) for i in range(n)]
+            + [bool((b >> i) & 1) for i in range(n)]
+            + [bool(c)]
+        )
+        out = evaluate(aig, bits)
+        got = sum(1 << i for i in range(n) if out[i])
+        got += (1 << n) if out[n] else 0
+        assert got == a + b + c, f"{a}+{b}+{c} != {got}"
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_exhaustive_small(gen, n):
+    aig = gen(n)
+    check_adds(
+        aig, n, itertools.product(range(1 << n), range(1 << n), range(2))
+    )
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+@given(st.integers(0, 10_000))
+@settings(deadline=None, max_examples=10)
+def test_random_wide(gen, seed):
+    import random
+
+    rng = random.Random(seed)
+    n = rng.choice([4, 8, 16])
+    aig = gen(n)
+    cases = [
+        (rng.randrange(1 << n), rng.randrange(1 << n), rng.randrange(2))
+        for _ in range(25)
+    ]
+    check_adds(aig, n, cases)
+
+
+def test_interface_shape():
+    aig = ripple_carry_adder(4)
+    assert aig.num_pis == 9  # a0..3, b0..3, cin
+    assert aig.num_pos == 5  # s0..3, cout
+    assert aig.po_names[-1] == "cout"
+
+
+def test_ripple_depth_linear():
+    # Each extra bit slice adds a constant number of levels: d(2n) = 2d(n)-2.
+    depths = [depth(ripple_carry_adder(n)) for n in (2, 4, 8)]
+    assert depths == sorted(depths)
+    assert depths[1] == 2 * depths[0] - 2
+    assert depths[2] == 2 * depths[1] - 2
+
+
+def test_prefix_adders_logarithmic():
+    for gen in (kogge_stone_adder, sklansky_adder):
+        d16 = depth(gen(16))
+        d_ripple = depth(ripple_carry_adder(16))
+        assert d16 < d_ripple / 2
+
+
+def test_optimal_levels_table1_column():
+    assert [optimal_cla_levels(n) for n in (2, 4, 8, 16)] == [5, 7, 9, 11]

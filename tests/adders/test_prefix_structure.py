@@ -1,0 +1,90 @@
+"""Structural property tests for the adder generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import (
+    brent_kung_adder,
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    optimal_cla_levels,
+    ripple_carry_adder,
+    sklansky_adder,
+)
+from repro.aig import depth
+from repro.cec import check_equivalence
+
+
+class TestDepthScaling:
+    @pytest.mark.parametrize("gen", [kogge_stone_adder, sklansky_adder])
+    def test_prefix_depth_logarithmic(self, gen):
+        depths = {n: depth(gen(n)) for n in (4, 8, 16, 32)}
+        for n in (8, 16, 32):
+            # Doubling the width adds a constant (one prefix stage).
+            assert depths[n] - depths[n // 2] <= 3
+
+    def test_kogge_stone_matches_formula(self):
+        # Depth ~ 2*log2(n) + constant for the sum path.
+        for n in (4, 8, 16):
+            d = depth(kogge_stone_adder(n))
+            assert d <= 2 * math.ceil(math.log2(n)) + 6
+
+    def test_optimum_column_close_to_kogge_stone_cout(self):
+        # The theoretical optimum (cout cone) is within a couple levels of
+        # the synthesized Kogge-Stone cout cone.
+        from repro.aig import levels, lit_var
+
+        for n in (4, 8, 16):
+            aig = kogge_stone_adder(n)
+            cout_level = levels(aig)[lit_var(aig.pos[-1])]
+            assert abs(cout_level - optimal_cla_levels(n)) <= 3
+
+
+class TestSizeScaling:
+    def test_kogge_stone_larger_than_brent_kung(self):
+        # The classic area ordering of prefix networks.
+        for n in (8, 16, 32):
+            assert (
+                kogge_stone_adder(n).num_ands()
+                >= brent_kung_adder(n).num_ands()
+            )
+
+    def test_ripple_smallest(self):
+        for n in (8, 16):
+            ripple = ripple_carry_adder(n).num_ands()
+            assert ripple <= kogge_stone_adder(n).num_ands()
+            assert ripple <= carry_select_adder(n).num_ands()
+
+
+class TestCrossEquivalence:
+    @given(st.integers(1, 12))
+    @settings(deadline=None, max_examples=8)
+    def test_all_widths_equivalent(self, n):
+        ref = ripple_carry_adder(n)
+        for gen in (carry_lookahead_adder, kogge_stone_adder,
+                    brent_kung_adder):
+            assert check_equivalence(ref, gen(n)), (gen.__name__, n)
+
+
+class TestBlockParameters:
+    @pytest.mark.parametrize("block", [1, 2, 3, 4, 8])
+    def test_cla_block_sizes(self, block):
+        ref = ripple_carry_adder(6)
+        cla = carry_lookahead_adder(6, block=block)
+        assert check_equivalence(ref, cla)
+
+    @pytest.mark.parametrize("block", [1, 2, 5])
+    def test_select_block_sizes(self, block):
+        ref = ripple_carry_adder(6)
+        sel = carry_select_adder(6, block=block)
+        assert check_equivalence(ref, sel)
+
+    def test_without_carry_in(self):
+        a = ripple_carry_adder(4, with_cin=False)
+        b = kogge_stone_adder(4, with_cin=False)
+        assert a.num_pis == 8
+        assert check_equivalence(a, b)

@@ -1,0 +1,155 @@
+"""Tests for the core AIG structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import (
+    AIG,
+    CONST0,
+    CONST1,
+    depth,
+    levels,
+    lit_neg,
+    lit_not,
+    lit_var,
+    make_lit,
+    node_tts,
+    po_tts,
+)
+from repro.tt import TruthTable
+
+
+def random_aig(seed, n_pis=5, n_nodes=30, n_pos=3):
+    import random
+
+    rng = random.Random(seed)
+    aig = AIG()
+    lits = [aig.add_pi() for _ in range(n_pis)]
+    for _ in range(n_nodes):
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        lits.append(getattr(aig, rng.choice(["and_", "or_", "xor_"]))(a, b))
+    for _ in range(n_pos):
+        aig.add_po(rng.choice(lits) ^ rng.randint(0, 1))
+    return aig
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit_var(make_lit(7, True)) == 7
+        assert lit_neg(make_lit(7, True))
+        assert lit_not(make_lit(7, True)) == make_lit(7, False)
+
+    def test_constants(self):
+        assert CONST1 == lit_not(CONST0)
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        aig = AIG()
+        x = aig.add_pi()
+        assert aig.and_(x, CONST0) == CONST0
+        assert aig.and_(x, CONST1) == x
+        assert aig.and_(x, x) == x
+        assert aig.and_(x, lit_not(x)) == CONST0
+        assert aig.num_ands() == 0
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(b, a)
+        assert n1 == n2
+        assert aig.num_ands() == 1
+
+    def test_unknown_literal_rejected(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            aig.and_(2, 100)
+
+    def test_derived_ops_semantics(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.or_(a, b))
+        aig.add_po(aig.xor_(a, b))
+        aig.add_po(aig.mux_(c, a, b))
+        aig.add_po(aig.xnor_(a, b))
+        aig.add_po(aig.nand_(a, b))
+        aig.add_po(aig.nor_(a, b))
+        tts = po_tts(aig)
+        va, vb, vc = (TruthTable.var(i, 3) for i in range(3))
+        assert tts[0] == va | vb
+        assert tts[1] == va ^ vb
+        assert tts[2] == (vc & va) | (~vc & vb)
+        assert tts[3] == ~(va ^ vb)
+        assert tts[4] == ~(va & vb)
+        assert tts[5] == ~(va | vb)
+
+    def test_tree_builders(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(5)]
+        aig.add_po(aig.and_many(xs))
+        aig.add_po(aig.or_many(xs))
+        aig.add_po(aig.xor_many(xs))
+        tts = po_tts(aig)
+        acc_and = TruthTable.const(True, 5)
+        acc_or = TruthTable.const(False, 5)
+        acc_xor = TruthTable.const(False, 5)
+        for i in range(5):
+            v = TruthTable.var(i, 5)
+            acc_and &= v
+            acc_or |= v
+            acc_xor ^= v
+        assert tts == [acc_and, acc_or, acc_xor]
+
+    def test_empty_tree_rejected(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            aig.and_many([])
+
+
+class TestLevels:
+    def test_balanced_tree_depth(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(8)]
+        aig.add_po(aig.and_many(xs))
+        assert depth(aig) == 3
+
+    def test_chain_depth(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(8)]
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = aig.and_(acc, x)
+        aig.add_po(acc)
+        assert depth(aig) == 7
+
+    def test_levels_of_pis_zero(self):
+        aig = random_aig(0)
+        lvl = levels(aig)
+        assert all(lvl[pi] == 0 for pi in aig.pis)
+
+
+class TestExtract:
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=15)
+    def test_extract_preserves_function(self, seed):
+        aig = random_aig(seed)
+        copy = aig.extract()
+        assert po_tts(copy) == po_tts(aig)
+        assert copy.num_ands() <= aig.num_ands()
+
+    def test_extract_drops_dangling(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.and_(a, b)  # dangling
+        aig.add_po(aig.or_(a, b))
+        assert aig.extract().num_ands() == 1  # or = 1 AND + complement edges
+
+    def test_copy_cone_missing_pi_mapping(self):
+        aig = AIG()
+        a = aig.add_pi()
+        dest = AIG()
+        with pytest.raises(KeyError):
+            aig.copy_cone(dest, {}, [a])

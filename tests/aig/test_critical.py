@@ -1,0 +1,111 @@
+"""Tests for arrival/required/critical analysis on AIGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import (
+    AIG,
+    a_critical_path,
+    critical_pis,
+    critical_pos,
+    critical_vars,
+    depth,
+    levels,
+    lit_var,
+    required_times,
+    slack_histogram,
+)
+
+from .test_aig import random_aig
+
+
+class TestRequiredTimes:
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=15)
+    def test_slack_nonnegative(self, seed):
+        aig = random_aig(seed)
+        lvl = levels(aig)
+        req = required_times(aig)
+        for var in aig.and_vars():
+            if req[var] != float("inf"):
+                assert req[var] >= lvl[var]
+
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=15)
+    def test_critical_vars_form_paths(self, seed):
+        # Every critical AND node has at least one critical fan-in chain
+        # reaching a critical PI.
+        aig = random_aig(seed)
+        crit = critical_vars(aig)
+        lvl = levels(aig)
+        for var in crit:
+            if aig.is_and(var):
+                f0, f1 = aig.fanins(var)
+                fanin_lvls = [lvl[lit_var(f0)], lvl[lit_var(f1)]]
+                assert lvl[var] == 1 + max(fanin_lvls)
+                # The max-level fan-in must itself be critical.
+                deep = (
+                    lit_var(f0)
+                    if fanin_lvls[0] >= fanin_lvls[1]
+                    else lit_var(f1)
+                )
+                assert deep in crit
+
+    def test_dangling_nodes_have_inf_required(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.and_(a, b)  # dangling
+        aig.add_po(aig.or_(a, b))
+        req = required_times(aig)
+        dangling = [
+            v
+            for v in aig.and_vars()
+            if req[v] == float("inf")
+        ]
+        assert len(dangling) == 1
+
+
+class TestCriticalPath:
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=15)
+    def test_path_is_maximal_and_monotone(self, seed):
+        aig = random_aig(seed)
+        path = a_critical_path(aig)
+        if not path:
+            return
+        lvl = levels(aig)
+        assert lvl[path[-1]] == depth(aig)
+        assert lvl[path[0]] == 0
+        for u, v in zip(path, path[1:]):
+            assert lvl[v] == lvl[u] + 1
+
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=10)
+    def test_critical_pis_subset(self, seed):
+        aig = random_aig(seed)
+        for pi in critical_pis(aig):
+            assert aig.is_pi(pi)
+            assert pi in critical_vars(aig)
+
+    def test_critical_pos_levels(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        shallow = aig.and_(a, b)
+        deep = aig.and_(shallow, c)
+        aig.add_po(shallow)
+        aig.add_po(deep)
+        assert critical_pos(aig) == [1]
+
+
+class TestSlackHistogram:
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_counts_cover_live_ands(self, seed):
+        aig = random_aig(seed)
+        hist = slack_histogram(aig)
+        req = required_times(aig)
+        live = sum(
+            1 for v in aig.and_vars() if req[v] != float("inf")
+        )
+        assert sum(hist.values()) == live
+        assert all(s >= 0 for s in hist)

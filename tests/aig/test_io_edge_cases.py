@@ -1,0 +1,134 @@
+"""Edge-case tests for AIGER/BLIF readers and writers."""
+
+import io
+
+import pytest
+
+from repro.aig import (
+    AIG,
+    CONST0,
+    CONST1,
+    lit_not,
+    po_tts,
+    read_aag,
+    read_blif,
+    write_aag,
+    write_blif,
+)
+from repro.tt import TruthTable
+
+
+class TestAigerEdgeCases:
+    def test_constant_outputs(self):
+        aig = AIG()
+        aig.add_pi("x")
+        aig.add_po(CONST0, "zero")
+        aig.add_po(CONST1, "one")
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        tts = po_tts(back)
+        assert tts[0].is_const0 and tts[1].is_const1
+
+    def test_inverted_pi_output(self):
+        aig = AIG()
+        x = aig.add_pi("x")
+        aig.add_po(lit_not(x), "nx")
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        assert po_tts(back)[0] == ~TruthTable.var(0, 1)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aig 1 1 0 0 0\n"))
+
+    def test_undefined_literal_rejected(self):
+        # PO references literal 8 which is never defined.
+        text = "aag 2 1 0 1 0\n2\n8\n"
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO(text))
+
+    def test_symbol_table_roundtrip(self):
+        aig = AIG()
+        a = aig.add_pi("request_valid")
+        b = aig.add_pi("grant_enable")
+        aig.add_po(aig.and_(a, b), "grant_out")
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        assert back.pi_names == ["request_valid", "grant_enable"]
+        assert back.po_names == ["grant_out"]
+
+
+class TestBlifEdgeCases:
+    def test_multiline_continuation(self):
+        text = (
+            ".model t\n"
+            ".inputs a \\\n b\n"
+            ".outputs y\n"
+            ".names a b y\n"
+            "11 1\n"
+            ".end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        assert aig.num_pis == 2
+        assert po_tts(aig)[0] == (
+            TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        )
+
+    def test_offset_names_block(self):
+        # Off-set specification: output is 0 on the listed cubes.
+        text = (
+            ".model t\n.inputs a b\n.outputs y\n"
+            ".names a b y\n11 0\n.end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        assert po_tts(aig)[0] == ~(
+            TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        )
+
+    def test_constant_names_blocks(self):
+        text = (
+            ".model t\n.inputs a\n.outputs one zero\n"
+            ".names one\n1\n"
+            ".names zero\n"
+            ".end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        tts = po_tts(aig)
+        assert tts[0].is_const1 and tts[1].is_const0
+
+    def test_comment_stripping(self):
+        text = (
+            "# header comment\n"
+            ".model t\n.inputs a\n.outputs y\n"
+            ".names a y  # pass-through\n1 1\n.end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        assert po_tts(aig)[0] == TruthTable.var(0, 1)
+
+    def test_undefined_signal_rejected(self):
+        text = ".model t\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n"
+        with pytest.raises(ValueError):
+            read_blif(io.StringIO(text))
+
+    def test_unsupported_construct_rejected(self):
+        text = ".model t\n.inputs a\n.outputs y\n.latch a y\n.end\n"
+        with pytest.raises(ValueError):
+            read_blif(io.StringIO(text))
+
+    def test_writer_reader_on_shared_inverters(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        na = lit_not(a)
+        aig.add_po(aig.and_(na, b))
+        aig.add_po(aig.and_(na, lit_not(b)))
+        buf = io.StringIO()
+        write_blif(aig, buf)
+        buf.seek(0)
+        back = read_blif(buf)
+        assert po_tts(back) == po_tts(aig)

@@ -1,0 +1,166 @@
+"""Tests for simulation, cones, cuts, and I/O."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import (
+    AIG,
+    cone_pis,
+    cut_tt,
+    cut_volume,
+    enumerate_cuts,
+    evaluate,
+    fanin_cone_vars,
+    fanout_counts,
+    lit_var,
+    node_tts,
+    po_tts,
+    random_patterns,
+    read_aag,
+    read_blif,
+    simulate,
+    tfo_vars,
+    write_aag,
+    write_blif,
+)
+from repro.tt import TruthTable
+
+from .test_aig import random_aig
+
+
+class TestSimulation:
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_simulation_matches_tts(self, seed):
+        aig = random_aig(seed)
+        width = 64
+        patterns = random_patterns(aig.num_pis, width, seed)
+        values = simulate(aig, patterns, width)
+        tts = node_tts(aig)
+        for bit in range(width):
+            assignment = [bool((w >> bit) & 1) for w in patterns]
+            m = sum(1 << i for i, v in enumerate(assignment) if v)
+            for var in aig.and_vars():
+                assert bool((values[var] >> bit) & 1) == tts[var].value(m)
+
+    def test_evaluate_single(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.xor_(a, b))
+        assert evaluate(aig, [True, False]) == [True]
+        assert evaluate(aig, [True, True]) == [False]
+
+    def test_wrong_pi_count_rejected(self):
+        aig = random_aig(1)
+        with pytest.raises(ValueError):
+            simulate(aig, [0], 8)
+
+
+class TestCones:
+    def test_cone_and_tfo(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        ab = aig.and_(a, b)
+        abc = aig.and_(ab, c)
+        aig.add_po(abc)
+        cone = fanin_cone_vars(aig, [abc])
+        assert lit_var(a) in cone and lit_var(ab) in cone
+        assert cone_pis(aig, [abc]) == [lit_var(a), lit_var(b), lit_var(c)]
+        tfo = tfo_vars(aig, [lit_var(a)])
+        assert lit_var(abc) in tfo
+
+    def test_fanout_counts_include_pos(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        n = aig.and_(a, b)
+        aig.add_po(n)
+        aig.add_po(n)
+        assert fanout_counts(aig)[lit_var(n)] == 2
+
+
+class TestCuts:
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_cut_functions_match_global(self, seed):
+        aig = random_aig(seed, n_pis=4, n_nodes=15)
+        cuts = enumerate_cuts(aig, k=4)
+        tts = node_tts(aig)
+        for var in aig.and_vars():
+            for cut in cuts[var]:
+                if not cut:
+                    continue
+                local = cut_tt(aig, var, list(cut))
+                # Compose the local function over leaf global functions.
+                leaf_tts = [tts[leaf] for leaf in cut]
+                assert local.compose(leaf_tts) == tts[var]
+
+    def test_trivial_cut_always_present(self):
+        aig = random_aig(3)
+        cuts = enumerate_cuts(aig, k=4)
+        for var in aig.and_vars():
+            assert (var,) in cuts[var]
+
+    def test_cut_size_bound(self):
+        aig = random_aig(4, n_pis=8, n_nodes=40)
+        for var, var_cuts in enumerate(enumerate_cuts(aig, k=3)):
+            for cut in var_cuts:
+                if cut != (var,):
+                    assert len(cut) <= 3
+
+    def test_cut_volume(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        ab = aig.and_(a, b)
+        abc = aig.and_(ab, c)
+        vol = cut_volume(
+            aig, lit_var(abc), [lit_var(a), lit_var(b), lit_var(c)]
+        )
+        assert vol == 2
+
+    def test_cut_tt_unreachable_pi_raises(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        n = aig.and_(a, b)
+        with pytest.raises(ValueError):
+            cut_tt(aig, lit_var(n), [lit_var(a)])
+
+
+class TestIO:
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_aag_roundtrip(self, seed):
+        aig = random_aig(seed)
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        assert po_tts(back) == po_tts(aig)
+        assert back.pi_names == aig.pi_names
+
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_blif_roundtrip(self, seed):
+        aig = random_aig(seed)
+        buf = io.StringIO()
+        write_blif(aig, buf)
+        buf.seek(0)
+        back = read_blif(buf)
+        assert po_tts(back) == po_tts(aig)
+
+    def test_blif_constant_output(self):
+        aig = AIG()
+        aig.add_pi("x")
+        aig.add_po(1, "always1")
+        buf = io.StringIO()
+        write_blif(aig, buf)
+        buf.seek(0)
+        back = read_blif(buf)
+        assert po_tts(back)[0].is_const1
+
+    def test_read_aag_rejects_latches(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aag 1 0 1 0 0\n"))

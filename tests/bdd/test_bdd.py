@@ -1,0 +1,150 @@
+"""Tests for the BDD package (against truth tables as the oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, FALSE, TRUE, aig_to_bdd, ref_not
+from repro.tt import TruthTable
+from repro.aig import AIG, po_tts
+
+
+def tt_to_bdd(bdd, t):
+    if t.is_const0:
+        return FALSE
+    if t.is_const1:
+        return TRUE
+    i = max(t.support())
+    hi = tt_to_bdd(bdd, t.cofactor(i, True))
+    lo = tt_to_bdd(bdd, t.cofactor(i, False))
+    return bdd.ite(bdd.var(i), hi, lo)
+
+
+def bdd_to_tt(bdd, ref, nvars):
+    bits = 0
+    for m in range(1 << nvars):
+        if bdd.eval(ref, {i: bool((m >> i) & 1) for i in range(nvars)}):
+            bits |= 1 << m
+    return TruthTable(bits, nvars)
+
+
+def tt_strategy(max_vars=5):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.integers(0, (1 << (1 << n)) - 1), st.just(n)
+        )
+    )
+
+
+class TestCanonicity:
+    @given(tt_strategy())
+    def test_same_function_same_ref(self, t):
+        bdd = BDD()
+        r1 = tt_to_bdd(bdd, t)
+        r2 = tt_to_bdd(bdd, ~~t)
+        assert r1 == r2
+
+    @given(tt_strategy())
+    def test_complement_is_ref_not(self, t):
+        bdd = BDD()
+        assert tt_to_bdd(bdd, ~t) == ref_not(tt_to_bdd(bdd, t))
+
+    def test_var_structure(self):
+        bdd = BDD()
+        v = bdd.var(3)
+        assert bdd.level_of(v) == 3
+
+
+class TestOps:
+    @given(tt_strategy(4), tt_strategy(4))
+    @settings(deadline=None)
+    def test_binary_ops(self, t1, t2):
+        n = max(t1.nvars, t2.nvars)
+        t1, t2 = t1.extend(n), t2.extend(n)
+        bdd = BDD()
+        r1, r2 = tt_to_bdd(bdd, t1), tt_to_bdd(bdd, t2)
+        assert bdd_to_tt(bdd, bdd.and_(r1, r2), n) == (t1 & t2)
+        assert bdd_to_tt(bdd, bdd.or_(r1, r2), n) == (t1 | t2)
+        assert bdd_to_tt(bdd, bdd.xor_(r1, r2), n) == (t1 ^ t2)
+
+    @given(tt_strategy(4), st.integers(0, 3), st.booleans())
+    @settings(deadline=None)
+    def test_restrict(self, t, var, value):
+        var %= t.nvars
+        bdd = BDD()
+        r = tt_to_bdd(bdd, t)
+        assert bdd_to_tt(bdd, bdd.restrict(r, var, value), t.nvars) == \
+            t.cofactor(var, value)
+
+    @given(tt_strategy(4), st.integers(0, 3))
+    @settings(deadline=None)
+    def test_quantification(self, t, var):
+        var %= t.nvars
+        bdd = BDD()
+        r = tt_to_bdd(bdd, t)
+        assert bdd_to_tt(bdd, bdd.exists(r, [var]), t.nvars) == t.exists(var)
+        assert bdd_to_tt(bdd, bdd.forall(r, [var]), t.nvars) == t.forall(var)
+
+    @given(tt_strategy(3), tt_strategy(3), st.integers(0, 2))
+    @settings(deadline=None)
+    def test_compose(self, f, g, var):
+        n = max(f.nvars, g.nvars)
+        f, g = f.extend(n), g.extend(n)
+        var %= n
+        bdd = BDD()
+        rf, rg = tt_to_bdd(bdd, f), tt_to_bdd(bdd, g)
+        composed = bdd.compose(rf, var, rg)
+        v = TruthTable.var(var, n)
+        expected = (g & f.cofactor(var, True)) | (~g & f.cofactor(var, False))
+        assert bdd_to_tt(bdd, composed, n) == expected
+
+
+class TestQueries:
+    @given(tt_strategy())
+    def test_sat_count(self, t):
+        bdd = BDD()
+        assert bdd.sat_count(tt_to_bdd(bdd, t), t.nvars) == t.count_ones()
+
+    @given(tt_strategy())
+    def test_pick_one(self, t):
+        bdd = BDD()
+        r = tt_to_bdd(bdd, t)
+        one = bdd.pick_one(r)
+        if t.is_const0:
+            assert one is None
+        else:
+            assert bdd.eval(r, one)
+
+    @given(tt_strategy())
+    def test_support(self, t):
+        bdd = BDD()
+        assert bdd.support(tt_to_bdd(bdd, t)) == t.support()
+
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_implies(self, t1, t2):
+        n = max(t1.nvars, t2.nvars)
+        t1, t2 = t1.extend(n), t2.extend(n)
+        bdd = BDD()
+        assert bdd.implies(tt_to_bdd(bdd, t1), tt_to_bdd(bdd, t2)) == \
+            t1.implies(t2)
+
+
+class TestFromAig:
+    def test_aig_to_bdd_matches_po_tts(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(5)]
+        f = aig.mux_(xs[0], aig.xor_(xs[1], xs[2]), aig.and_(xs[3], xs[4]))
+        g = aig.or_many(xs)
+        aig.add_po(f)
+        aig.add_po(g)
+        bdd = BDD()
+        refs = aig_to_bdd(bdd, aig, aig.pos)
+        for ref, tt in zip(refs, po_tts(aig)):
+            assert bdd_to_tt(bdd, ref, 5) == tt
+
+    def test_size_limit_aborts(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(12)]
+        f = aig.xor_many(xs)
+        bdd = BDD()
+        assert aig_to_bdd(bdd, aig, [f], size_limit=3) is None

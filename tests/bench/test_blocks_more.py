@@ -1,0 +1,134 @@
+"""Additional block-level tests: widths, encodings, datapath ops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, evaluate
+from repro.bench import blocks
+
+
+class TestHammingWidths:
+    @pytest.mark.parametrize("width", [4, 8, 11, 16, 26])
+    def test_check_bit_count(self, width):
+        r, positions = blocks.hamming_positions(width)
+        assert len(positions) == width
+        assert (1 << r) >= width + r + 1
+        assert (1 << (r - 1)) < width + (r - 1) + 1
+
+    @pytest.mark.parametrize("width", [4, 8, 11])
+    def test_correction_at_width(self, width):
+        import random
+
+        rng = random.Random(width)
+        r, _ = blocks.hamming_positions(width)
+        enc = AIG()
+        data_in = [enc.add_pi() for _ in range(width)]
+        checks = blocks.hamming_checks(enc, data_in)
+        overall = blocks.parity_tree(enc, list(data_in) + checks)
+        for c in checks:
+            enc.add_po(c)
+        enc.add_po(overall)
+
+        dec = AIG()
+        d = [dec.add_pi() for _ in range(width)]
+        p = [dec.add_pi() for _ in range(r + 1)]
+        corrected, _syn, single, double = blocks.secded_correct(dec, d, p)
+        for c in corrected:
+            dec.add_po(c)
+        dec.add_po(single)
+        dec.add_po(double)
+
+        for _ in range(10):
+            word = [bool(rng.randint(0, 1)) for _ in range(width)]
+            check_bits = evaluate(enc, word)
+            # Clean word: no errors flagged, data passes through.
+            out = evaluate(dec, word + check_bits)
+            assert out[:width] == word
+            assert not out[width] and not out[width + 1]
+            # Single-bit error: corrected.
+            flip = rng.randrange(width)
+            bad = list(word)
+            bad[flip] = not bad[flip]
+            out = evaluate(dec, bad + check_bits)
+            assert out[:width] == word
+            assert out[width] and not out[width + 1]
+            # Double error: detected, not miscorrected as single.
+            flip2 = (flip + 1) % width
+            worse = list(bad)
+            worse[flip2] = not worse[flip2]
+            out = evaluate(dec, worse + check_bits)
+            assert out[width + 1] and not out[width]
+
+
+class TestEncodeOnehot:
+    @given(st.integers(1, 12))
+    @settings(deadline=None, max_examples=10)
+    def test_binary_encoding(self, n):
+        import math
+
+        width = max(1, math.ceil(math.log2(n)))
+        aig = AIG()
+        onehot = [aig.add_pi() for _ in range(n)]
+        for bit in blocks.encode_onehot(aig, onehot, width):
+            aig.add_po(bit)
+        for hot in range(n):
+            bits = [i == hot for i in range(n)]
+            out = evaluate(aig, bits)
+            got = sum(1 << i for i, b in enumerate(out) if b)
+            assert got == hot
+
+
+class TestAluSlice:
+    @pytest.mark.parametrize("op,expected", [
+        ((0, 0), lambda a, b, c: (a + b + c) & 0xF),
+        ((1, 0), lambda a, b, c: a & b),
+        ((0, 1), lambda a, b, c: a | b),
+        ((1, 1), lambda a, b, c: a ^ b),
+    ])
+    def test_all_ops(self, op, expected):
+        aig = AIG()
+        a = [aig.add_pi() for _ in range(4)]
+        b = [aig.add_pi() for _ in range(4)]
+        opins = [aig.add_pi() for _ in range(2)]
+        cin = aig.add_pi()
+        result, cout = blocks.alu_slice(aig, a, b, opins, cin)
+        for r in result:
+            aig.add_po(r)
+        for av in (0b0000, 0b1010, 0b1111):
+            for bv in (0b0011, 0b1111):
+                for c in (0, 1):
+                    bits = (
+                        [bool((av >> i) & 1) for i in range(4)]
+                        + [bool((bv >> i) & 1) for i in range(4)]
+                        + [bool(op[0]), bool(op[1]), bool(c)]
+                    )
+                    out = evaluate(aig, bits)
+                    got = sum(1 << i for i, x in enumerate(out) if x)
+                    assert got == expected(av, bv, c) & 0xF
+
+
+class TestDecoder:
+    def test_exhaustive(self):
+        aig = AIG()
+        sel = [aig.add_pi() for _ in range(3)]
+        for line in blocks.decoder(aig, sel):
+            aig.add_po(line)
+        for v in range(8):
+            bits = [bool((v >> i) & 1) for i in range(3)]
+            out = evaluate(aig, bits)
+            assert out == [i == v for i in range(8)]
+
+
+class TestCamMatch:
+    def test_match_requires_valid(self):
+        aig = AIG()
+        key = [aig.add_pi() for _ in range(4)]
+        entry = [aig.add_pi() for _ in range(4)]
+        valid = aig.add_pi()
+        aig.add_po(blocks.cam_match(aig, key, entry, valid))
+        same = [True, False, True, True]
+        assert evaluate(aig, same + same + [True]) == [True]
+        assert evaluate(aig, same + same + [False]) == [False]
+        different = [True, True, True, True]
+        assert evaluate(aig, same + different + [True]) == [False]

@@ -1,0 +1,159 @@
+"""Tests for the benchmark circuit suite."""
+
+import pytest
+
+from repro.aig import AIG, depth, evaluate, simulate_random
+from repro.bench import BENCHMARKS, blocks, control_fabric
+
+PAPER_SHAPES = {
+    "rot": (135, 107),
+    "dalu": (75, 16),
+    "i10": (257, 224),
+    "C432": (36, 7),
+    "C880": (60, 26),
+    "C1908": (33, 25),
+    "C3540": (50, 22),
+    "sparc_exu_ecl_flat": (572, 120),
+    "lsu_stb_ctl_flat": (182, 60),
+    "sparc_ifu_dcl_flat": (136, 40),
+    "sparc_ifu_dec_flat": (131, 50),
+    "lsu_excpctl_flat": (251, 70),
+    "sparc_tlu_intctl_flat": (82, 30),
+    "sparc_ifu_fcl_flat": (465, 100),
+    "tlu_hyperv_flat": (449, 90),
+}
+
+
+def test_suite_has_fifteen_circuits():
+    assert len(BENCHMARKS) == 15
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_pi_po_counts(name):
+    aig = BENCHMARKS[name]()
+    assert (aig.num_pis, aig.num_pos) == PAPER_SHAPES[name]
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_nontrivial_and_deterministic(name):
+    a = BENCHMARKS[name]()
+    b = BENCHMARKS[name]()
+    assert a.num_ands() > 50
+    assert depth(a) > 5
+    assert a.num_ands() == b.num_ands()
+    # Same functional signature under the same patterns.
+    assert simulate_random(a, 64, 1) == simulate_random(b, 64, 1)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_outputs_not_constant_heavy(name):
+    """Most outputs must actually toggle under random stimulus."""
+    from repro.aig import lit_word
+
+    aig = BENCHMARKS[name]()
+    width = 256
+    from repro.aig import random_patterns, simulate
+
+    values = simulate(aig, random_patterns(aig.num_pis, width, 7), width)
+    mask = (1 << width) - 1
+    toggling = sum(
+        1
+        for po in aig.pos
+        if lit_word(values, po, width) not in (0, mask)
+    )
+    assert toggling >= aig.num_pos * 0.6
+
+
+class TestBlocks:
+    def test_priority_grant_onehot(self):
+        aig = AIG()
+        reqs = [aig.add_pi() for _ in range(5)]
+        grants = blocks.priority_grant(aig, reqs)
+        for g in grants:
+            aig.add_po(g)
+        for m in range(32):
+            bits = [bool((m >> i) & 1) for i in range(5)]
+            out = evaluate(aig, bits)
+            if m == 0:
+                assert not any(out)
+            else:
+                first = next(i for i in range(5) if bits[i])
+                assert out == [i == first for i in range(5)]
+
+    def test_ripple_compare(self):
+        aig = AIG()
+        a = [aig.add_pi() for _ in range(3)]
+        b = [aig.add_pi() for _ in range(3)]
+        eq, lt = blocks.ripple_compare(aig, a, b)
+        aig.add_po(eq)
+        aig.add_po(lt)
+        for av in range(8):
+            for bv in range(8):
+                bits = [bool((av >> i) & 1) for i in range(3)] + [
+                    bool((bv >> i) & 1) for i in range(3)
+                ]
+                out = evaluate(aig, bits)
+                assert out == [av == bv, av < bv]
+
+    def test_rotate_left(self):
+        aig = AIG()
+        data = [aig.add_pi() for _ in range(8)]
+        amt = [aig.add_pi() for _ in range(3)]
+        rotated = blocks.rotate_left(aig, data, amt)
+        for r in rotated:
+            aig.add_po(r)
+        for value in (0b00000001, 0b10110010):
+            for shift in range(8):
+                bits = [bool((value >> i) & 1) for i in range(8)] + [
+                    bool((shift >> i) & 1) for i in range(3)
+                ]
+                out = evaluate(aig, bits)
+                got = sum(1 << i for i in range(8) if out[i])
+                expected = ((value << shift) | (value >> (8 - shift))) & 0xFF
+                assert got == expected
+
+    def test_secded_corrects_single_bit_error(self):
+        aig = AIG()
+        data = [aig.add_pi() for _ in range(8)]
+        checks = [aig.add_pi() for _ in range(5)]
+        corrected, syndrome, single, double = blocks.secded_correct(
+            aig, data, checks
+        )
+        for c in corrected:
+            aig.add_po(c)
+        aig.add_po(single)
+        aig.add_po(double)
+        # Compute the correct check bits for a word, flip one data bit,
+        # and verify correction.
+        enc = AIG()
+        enc_data = [enc.add_pi() for _ in range(8)]
+        enc_checks = blocks.hamming_checks(enc, enc_data)
+        overall = blocks.parity_tree(enc, list(enc_data) + enc_checks)
+        for c in enc_checks:
+            enc.add_po(c)
+        enc.add_po(overall)
+        word = 0b10110100
+        word_bits = [bool((word >> i) & 1) for i in range(8)]
+        check_bits = evaluate(enc, word_bits)
+        for flip in range(8):
+            bad = list(word_bits)
+            bad[flip] = not bad[flip]
+            out = evaluate(aig, bad + check_bits)
+            assert out[:8] == word_bits, f"bit {flip} not corrected"
+            assert out[8] and not out[9]
+
+    def test_mux_tree(self):
+        aig = AIG()
+        sel = [aig.add_pi() for _ in range(2)]
+        ins = [aig.add_pi() for _ in range(4)]
+        aig.add_po(blocks.mux_tree(aig, sel, ins))
+        for s in range(4):
+            for v in range(16):
+                bits = [bool((s >> i) & 1) for i in range(2)] + [
+                    bool((v >> i) & 1) for i in range(4)
+                ]
+                assert evaluate(aig, bits) == [bool((v >> s) & 1)]
+
+    def test_control_fabric_counts(self):
+        aig = control_fabric("t", 40, 10, seed=3)
+        assert aig.num_pis == 40 and aig.num_pos == 10

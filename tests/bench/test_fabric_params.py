@@ -1,0 +1,40 @@
+"""Parameter-sensitivity tests for the control-fabric generator."""
+
+import pytest
+
+from repro.aig import depth, simulate_random
+from repro.bench import control_fabric
+from repro.cec import check_equivalence
+
+
+class TestParameters:
+    def test_seed_changes_function(self):
+        a = control_fabric("t", 30, 8, seed=1)
+        b = control_fabric("t", 30, 8, seed=2)
+        assert simulate_random(a, 64, 0) != simulate_random(b, 64, 0)
+
+    def test_same_seed_same_function(self):
+        a = control_fabric("t", 30, 8, seed=7)
+        b = control_fabric("t", 30, 8, seed=7)
+        assert check_equivalence(a, b)
+
+    def test_chain_len_increases_depth(self):
+        shallow = control_fabric("t", 60, 12, seed=3, chain_len=6)
+        deep = control_fabric("t", 60, 12, seed=3, chain_len=24)
+        assert depth(deep) > depth(shallow)
+
+    def test_blocks_per_po_scales_size(self):
+        small = control_fabric("t", 60, 12, seed=3, blocks_per_po=0.3)
+        big = control_fabric("t", 60, 12, seed=3, blocks_per_po=1.2)
+        assert big.num_ands() > small.num_ands()
+
+    @pytest.mark.parametrize("n_pi,n_po", [(10, 3), (50, 20), (120, 40)])
+    def test_exact_interface_counts(self, n_pi, n_po):
+        aig = control_fabric("t", n_pi, n_po, seed=11)
+        assert aig.num_pis == n_pi
+        assert aig.num_pos == n_po
+
+    def test_names_prefixed(self):
+        aig = control_fabric("myblk", 10, 3, seed=0)
+        assert all(n.startswith("myblk_in") for n in aig.pi_names)
+        assert all(n.startswith("myblk_out") for n in aig.po_names)

@@ -1,0 +1,84 @@
+"""Tests for decomposition analytics, DOT export, and area mapping."""
+
+import io
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.aig import AIG, depth, write_dot
+from repro.core import LookaheadOptimizer, analyze_round, print_round_report
+from repro.mapping import map_aig, mapped_delay
+
+
+class TestAnalyzeRound:
+    def test_adder_round_report(self):
+        aig = ripple_carry_adder(4)
+        report = analyze_round(aig)
+        assert report.aig_depth == depth(aig)
+        assert report.num_successful >= 1
+        for o in report.outputs:
+            assert o.po_level == report.aig_depth
+            if o.success:
+                assert o.cone_level_after < o.cone_level_before
+                assert o.marked_nodes >= 1
+                assert o.sigma_level is not None
+
+    def test_dry_run_does_not_mutate(self):
+        aig = ripple_carry_adder(4)
+        before = aig.num_ands()
+        analyze_round(aig)
+        assert aig.num_ands() == before
+
+    def test_print_report_smoke(self, capsys):
+        report = analyze_round(ripple_carry_adder(3))
+        print_round_report(report)
+        out = capsys.readouterr().out
+        assert "AIG depth" in out
+
+    def test_sim_mode_report(self):
+        aig = ripple_carry_adder(8)  # 17 PIs -> sim in the dry run
+        report = analyze_round(
+            aig, LookaheadOptimizer(sim_width=256), max_outputs=2
+        )
+        assert len(report.outputs) <= 2
+        assert all(o.spcf_mode in ("sim", "tt") for o in report.outputs)
+
+
+class TestDotExport:
+    def test_structure(self):
+        aig = ripple_carry_adder(2)
+        buf = io.StringIO()
+        write_dot(aig, buf)
+        text = buf.getvalue()
+        assert text.startswith("digraph aig")
+        assert text.count("invtriangle") == aig.num_pos
+        assert text.count("shape=box") == aig.num_pis
+        # Complemented edges appear dashed.
+        assert "style=dashed" in text
+
+    def test_size_limit(self):
+        aig = ripple_carry_adder(16)
+        with pytest.raises(ValueError):
+            write_dot(aig, io.StringIO(), max_nodes=10)
+
+
+class TestAreaMapping:
+    def test_area_vs_delay_tradeoff(self):
+        aig = ripple_carry_adder(8)
+        delay_net = map_aig(aig, objective="delay")
+        area_net = map_aig(aig, objective="area")
+        assert area_net.area <= delay_net.area
+        assert mapped_delay(delay_net) <= mapped_delay(area_net)
+
+    def test_area_mapping_correct(self):
+        aig = ripple_carry_adder(4)
+        net = map_aig(aig, objective="area")
+        from repro.aig import evaluate
+
+        for m in range(64):
+            bits = [bool((m >> i) & 1) for i in range(9)]
+            assert net.evaluate(bits) == evaluate(aig, bits)
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ValueError):
+            map_aig(ripple_carry_adder(2), objective="power")

@@ -1,0 +1,47 @@
+"""Budget/limit behavior of area recovery."""
+
+from repro.adders import ripple_carry_adder
+from repro.aig import AIG, depth, po_tts
+from repro.cec import check_equivalence
+from repro.core import sat_sweep
+
+
+def duplicated_logic_aig():
+    aig = AIG()
+    a, b, c = (aig.add_pi() for _ in range(3))
+    f = aig.or_(aig.and_(a, b), aig.and_(a, c))
+    g = aig.and_(a, aig.or_(b, c))
+    aig.add_po(f)
+    aig.add_po(g)
+    return aig
+
+
+def test_size_limit_skips_sweeping():
+    aig = duplicated_logic_aig()
+    swept = sat_sweep(aig, size_limit=1)
+    # Above the size limit only structural cleanup happens; the two
+    # equal-function cones survive separately.
+    assert check_equivalence(aig, swept)
+    full = sat_sweep(aig)
+    assert full.num_ands() < swept.num_ands()
+
+
+def test_max_pairs_zero_changes_nothing():
+    aig = duplicated_logic_aig()
+    swept = sat_sweep(aig, max_pairs=0)
+    assert swept.num_ands() == aig.extract().num_ands()
+
+
+def test_unknown_budget_is_safe():
+    # With an absurdly tiny conflict budget every proof is "unknown" and
+    # no merge happens — but the result stays equivalent.
+    aig = ripple_carry_adder(5)
+    swept = sat_sweep(aig, max_conflicts=0)
+    assert check_equivalence(aig, swept)
+
+
+def test_merge_does_not_deepen():
+    aig = duplicated_logic_aig()
+    swept = sat_sweep(aig)
+    assert depth(swept) <= depth(aig)
+    assert po_tts(swept) == po_tts(aig)

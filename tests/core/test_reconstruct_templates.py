@@ -1,0 +1,109 @@
+"""Systematic tests of the implication-rule template engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, lit_not, node_tts, lit_var, lit_neg
+from repro.cec import lits_equivalent
+from repro.core import TEMPLATES, build_ite, reconstruct
+from repro.netlist import ArrivalAwareBuilder
+from repro.tt import TruthTable
+
+
+def _tt_of(aig, lit):
+    tts = node_tts(aig)
+    t = tts[lit_var(lit)]
+    return ~t if lit_neg(lit) else t
+
+
+def random_triple(seed):
+    rng = random.Random(seed)
+    aig = AIG()
+    xs = [aig.add_pi() for _ in range(4)]
+    def mk():
+        a = rng.choice(xs) ^ rng.randint(0, 1)
+        b = rng.choice(xs) ^ rng.randint(0, 1)
+        return getattr(aig, rng.choice(["and_", "or_", "xor_"]))(a, b)
+    return aig, mk(), mk(), mk()
+
+
+class TestTemplateSoundness:
+    @given(st.integers(0, 200))
+    @settings(deadline=None, max_examples=40)
+    def test_selected_candidate_always_equivalent(self, seed):
+        aig, s, a, b = random_triple(seed)
+        builder = ArrivalAwareBuilder(aig)
+        best = reconstruct(builder, s, a, b)
+        ite_tt = (
+            (_tt_of(aig, s) & _tt_of(aig, a))
+            | (~_tt_of(aig, s) & _tt_of(aig, b))
+        )
+        assert _tt_of(aig, best) == ite_tt
+
+    @given(st.integers(0, 100))
+    @settings(deadline=None, max_examples=20)
+    def test_template_validation_matches_semantics(self, seed):
+        # For every template: the engine may only pick it when it is
+        # truth-table-equivalent to the ITE.
+        aig, s, a, b = random_triple(seed)
+        builder = ArrivalAwareBuilder(aig)
+        base = build_ite(builder, s, a, b)
+        base_tt = _tt_of(aig, base)
+        for name, template in TEMPLATES:
+            candidate = template(builder, s, a, b)
+            sim_says = lits_equivalent(aig, candidate, base)
+            tt_says = _tt_of(aig, candidate) == base_tt
+            assert sim_says == tt_says, name
+
+
+class TestKnownRules:
+    def _builder(self):
+        aig = AIG()
+        s = aig.add_pi("s")
+        x = aig.add_pi("x")
+        y = aig.add_pi("y")
+        return aig, ArrivalAwareBuilder(aig), s, x, y
+
+    def test_const_then_branch(self):
+        # ITE(s, 1, b) == s | b.
+        aig, builder, s, x, _ = self._builder()
+        out = reconstruct(builder, s, lit_not(0), x)
+        assert _tt_of(aig, out) == (_tt_of(aig, s) | _tt_of(aig, x))
+
+    def test_const_else_branch(self):
+        # ITE(s, a, 0) == s & a.
+        aig, builder, s, x, _ = self._builder()
+        out = reconstruct(builder, s, x, 0)
+        assert _tt_of(aig, out) == (_tt_of(aig, s) & _tt_of(aig, x))
+
+    def test_equal_branches_drop_select(self):
+        aig, builder, s, x, _ = self._builder()
+        out = reconstruct(builder, s, x, x)
+        assert out == x
+
+    def test_select_itself(self):
+        # ITE(s, 1, 0) == s.
+        aig, builder, s, _, _ = self._builder()
+        out = reconstruct(builder, s, lit_not(0), 0)
+        assert out == s
+
+    def test_inverted_select(self):
+        # ITE(s, 0, 1) == !s.
+        aig, builder, s, _, _ = self._builder()
+        out = reconstruct(builder, s, 0, lit_not(0))
+        assert out == lit_not(s)
+
+    def test_implied_else_collapses(self):
+        # b = x&y implies a = x: ITE(s, x, x&y) == s&x | x&y == x&(s|y).
+        aig, builder, s, x, y = self._builder()
+        b = builder.and_(x, y)
+        out = reconstruct(builder, s, x, b)
+        expected = (
+            (_tt_of(aig, s) & _tt_of(aig, x))
+            | (~_tt_of(aig, s) & _tt_of(aig, b))
+        )
+        assert _tt_of(aig, out) == expected
+        base = build_ite(builder, s, x, b)
+        assert builder.level(out) <= builder.level(base)

@@ -1,0 +1,61 @@
+"""Additional properties of secondary simplification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExactCareChecker, ExactModel, secondary_simplify
+from repro.netlist import compute_levels, renode
+from repro.tt import TruthTable
+
+from ..aig.test_aig import random_aig
+
+
+def _cone(seed):
+    aig = random_aig(seed, n_pis=5, n_nodes=25, n_pos=1)
+    return renode(aig, k=4).extract_po_cone(0)
+
+
+class TestCareSetExtremes:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_full_care_set_changes_nothing_wrong(self, seed):
+        # care == const1: only genuinely unreachable vectors (structural
+        # SDCs) may be dropped, so the PO function must stay identical.
+        net = _cone(seed)
+        before = net.po_tts()[0]
+        model = ExactModel(net)
+        care = TruthTable.const(True, len(net.pis))
+        secondary_simplify(net, 0, ExactCareChecker(model, care))
+        assert net.po_tts()[0] == before
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_empty_care_set_allows_anything(self, seed):
+        # care == const0: every vector is a don't care; whatever the result
+        # is, the invariant "y_neg == y on the care set" holds vacuously —
+        # check it runs and the network stays well-formed.
+        net = _cone(seed)
+        model = ExactModel(net)
+        care = TruthTable.const(False, len(net.pis))
+        secondary_simplify(net, 0, ExactCareChecker(model, care))
+        net.po_tts()  # evaluable, no dangling references
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_partial_care_preserves_on_care(self, seed):
+        net = _cone(seed)
+        before = net.po_tts()[0]
+        model = ExactModel(net)
+        care = TruthTable.var(0, len(net.pis))
+        secondary_simplify(net, 0, ExactCareChecker(model, care))
+        after = net.po_tts()[0]
+        assert (care & (after ^ before)).is_const0
+
+    def test_max_nodes_cap(self):
+        net = _cone(3)
+        model = ExactModel(net)
+        care = TruthTable.const(False, len(net.pis))
+        changed = secondary_simplify(
+            net, 0, ExactCareChecker(model, care), max_nodes=1
+        )
+        assert changed <= 1

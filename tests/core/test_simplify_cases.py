@@ -1,0 +1,117 @@
+"""White-box tests of the three Simplify cases (Fig. 1) via a stub model."""
+
+from repro.core.simplify import simplify_node
+from repro.netlist import Network
+from repro.tt import TruthTable
+
+
+class StubModel:
+    """Weight oracle: returns predetermined weights per cube pattern."""
+
+    def __init__(self, weight_fn):
+        self.weight_fn = weight_fn
+        self.recomputed = 0
+
+    def cube_weight(self, spcf_fn, nid, cube):
+        return self.weight_fn(cube)
+
+    def recompute(self):
+        self.recomputed += 1
+
+
+def majority_network():
+    net = Network()
+    pis = [net.add_pi(f"x{i}") for i in range(3)]
+    maj = TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+    nid = net.add_node(pis, maj)
+    net.add_po(nid)
+    return net, nid, maj
+
+
+class TestCaseA:
+    def test_all_offset_zero_weight_grows_from_const0(self):
+        # SPCF never drives the node to 0: off-set cubes weigh 0 -> case A.
+        net, nid, maj = majority_network()
+        model = StubModel(
+            lambda cube: 0.0 if not maj.implies(~cube.to_tt() | maj) else 0.0
+        )
+
+        def weights(cube):
+            # Off-set cubes (cube inside ~maj) weigh 0; on-set cubes > 0.
+            return 0.9 if cube.to_tt().implies(maj) else 0.0
+
+        model = StubModel(weights)
+        # Late fan-in levels force a level-reduction opportunity.
+        outcome = simplify_node(net, nid, [0, 0, 6], model, spcf_fn=None)
+        assert outcome.changed
+        simplified = net.nodes[nid].tt
+        # Case A invariant: the new on-set is inside the old one and the
+        # window (== simplified function, possibly shrunk) certifies it.
+        assert simplified.implies(maj)
+        assert (outcome.window & (simplified ^ maj)).is_const0
+
+    def test_no_spcf_mass_still_safe(self):
+        # With an empty SPCF every weight is 0 and case A fires vacuously;
+        # the optimizer filters empty SPCFs earlier, but even here the
+        # window invariant must hold.
+        net, nid, maj = majority_network()
+        model = StubModel(lambda cube: 0.0)
+        outcome = simplify_node(net, nid, [0, 0, 0], model, spcf_fn=None)
+        if outcome.changed:
+            simplified = net.nodes[nid].tt
+            assert (outcome.window & (simplified ^ maj)).is_const0
+
+
+class TestCaseB:
+    def test_all_onset_zero_weight_carves_from_const1(self):
+        net, nid, maj = majority_network()
+
+        def weights(cube):
+            return 0.0 if cube.to_tt().implies(maj) else 0.8
+
+        model = StubModel(weights)
+        outcome = simplify_node(net, nid, [0, 0, 6], model, spcf_fn=None)
+        assert outcome.changed
+        simplified = net.nodes[nid].tt
+        assert maj.implies(simplified)  # off-set only shrank
+        assert (outcome.window & (simplified ^ maj)).is_const0
+
+
+class TestCaseC:
+    def test_mixed_weights_commit_both_sides(self):
+        net, nid, maj = majority_network()
+
+        def weights(cube):
+            # The carry-chain pattern: cubes containing the late input
+            # (position 2) carry weight; pure-early cubes don't.
+            return 0.7 if (cube.mask >> 2) & 1 else 0.2
+
+        model = StubModel(weights)
+        # The window-depth budget (window_limit) is what Reduce passes in;
+        # a tight budget forces the window off the late fan-in — the
+        # canonical CLA outcome.
+        outcome = simplify_node(
+            net, nid, [0, 0, 6], model, spcf_fn=None, window_limit=2
+        )
+        assert outcome.changed
+        simplified = net.nodes[nid].tt
+        assert (outcome.window & (simplified ^ maj)).is_const0
+        assert not outcome.window.depends_on(2)
+
+
+class TestConstraints:
+    def test_constant_node_untouched(self):
+        net = Network()
+        a = net.add_pi()
+        nid = net.add_node([a], TruthTable.const(True, 1))
+        net.add_po(nid)
+        model = StubModel(lambda cube: 1.0)
+        assert not simplify_node(net, nid, [3], model, None).changed
+
+    def test_level_zero_node_untouched(self):
+        net = Network()
+        a = net.add_pi()
+        nid = net.add_node([a], TruthTable.var(0, 1))
+        net.add_po(nid)
+        model = StubModel(lambda cube: 1.0)
+        assert not simplify_node(net, nid, [0], model, None).changed

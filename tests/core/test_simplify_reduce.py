@@ -1,0 +1,157 @@
+"""Tests for the Simplify/Reduce algorithms and their window invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ripple_carry_adder
+from repro.aig import depth, levels, lit_var
+from repro.core import (
+    ExactModel,
+    Spcf,
+    build_sigma,
+    primary_reduce,
+    simplify_node,
+    spcf_exact_tt,
+)
+from repro.core.simplify import shrink_window
+from repro.netlist import compute_levels, node_level, renode
+from repro.tt import TruthTable
+
+from ..aig.test_aig import random_aig
+
+
+def _cone_setup(seed, n_pis=5, n_nodes=25):
+    """Random single-output cone network with exact model and SPCF."""
+    aig = random_aig(seed, n_pis=n_pis, n_nodes=n_nodes, n_pos=1)
+    d = levels(aig)[lit_var(aig.pos[0])]
+    if d == 0:
+        return None
+    spcf_tt = spcf_exact_tt(aig, 0, d)
+    if spcf_tt.is_const0:
+        return None
+    net = renode(aig, k=4).extract_po_cone(0)
+    model = ExactModel(net)
+    return aig, net, model, model.spcf_fn(Spcf("tt", tt=spcf_tt))
+
+
+class TestShrinkWindow:
+    def test_majority_becomes_xor(self):
+        # The canonical CLA derivation: agreement(maj, c) quantified on the
+        # late carry input becomes a XOR b.
+        maj = TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+        c_fn = TruthTable.var(2, 3)
+        agreement = ~(maj ^ c_fn)
+        window = shrink_window(agreement, [0, 0, 6], late_threshold=6)
+        xor_ab = TruthTable.var(0, 3) ^ TruthTable.var(1, 3)
+        assert window == xor_ab
+
+    def test_budget_quantification(self):
+        t = TruthTable.from_function(lambda a, b: a and b, 2)
+        # limit 0 forces quantifying everything: result is forall = const0.
+        w = shrink_window(t, [1, 1], late_threshold=5, limit=0)
+        assert w.is_const0
+
+    def test_const1_untouched(self):
+        w = shrink_window(TruthTable.const(True, 2), [9, 9], 1, limit=0)
+        assert w.is_const1
+
+
+class TestSimplifyInvariant:
+    @given(st.integers(0, 60))
+    @settings(deadline=None, max_examples=25)
+    def test_window_guarantees_agreement(self, seed):
+        setup = _cone_setup(seed)
+        if setup is None:
+            return
+        _aig, net, model, spcf_fn = setup
+        lv = compute_levels(net)
+        for nid in list(net.topo_order()):
+            node = net.nodes[nid]
+            original = node.tt
+            fl = [lv[f] for f in node.fanins]
+            outcome = simplify_node(net, nid, fl, model, spcf_fn)
+            if not outcome.changed:
+                continue
+            simplified = net.nodes[nid].tt
+            window = outcome.window
+            # THE invariant: wherever the window holds, functions agree.
+            assert (window & (simplified ^ original)).is_const0
+            # Level must strictly improve.
+            assert node_level(simplified, fl) < node_level(original, fl)
+            # Restore for the next node (each node tested independently).
+            net.set_function(nid, original)
+            model.recompute()
+
+
+class TestPrimaryReduce:
+    @given(st.integers(0, 60))
+    @settings(deadline=None, max_examples=20)
+    def test_sigma_implies_output_preserved(self, seed):
+        setup = _cone_setup(seed)
+        if setup is None:
+            return
+        _aig, net, model, spcf_fn = setup
+        original_tt = net.po_tts()[0]
+        result = primary_reduce(net, 0, model, spcf_fn)
+        if result.sigma_nid is None:
+            return
+        model.recompute()
+        sigma = model.fn(result.sigma_nid)
+        y_pos = net.po_tts()[0]
+        # Σ1 = 1 must imply y_pos == y.
+        assert (sigma & (y_pos ^ original_tt)).is_const0
+
+    @given(st.integers(0, 60))
+    @settings(deadline=None, max_examples=20)
+    def test_success_means_level_drop(self, seed):
+        setup = _cone_setup(seed)
+        if setup is None:
+            return
+        _aig, net, model, spcf_fn = setup
+        root, _ = net.pos[0]
+        before = compute_levels(net)[root]
+        result = primary_reduce(net, 0, model, spcf_fn)
+        after = compute_levels(net)[root]
+        if result.success:
+            assert after < before
+
+    def test_adder_carry_walk_marks_nodes(self):
+        aig = ripple_carry_adder(3)
+        cout_po = 3
+        d = levels(aig)[lit_var(aig.pos[cout_po])]
+        spcf_tt = spcf_exact_tt(aig, cout_po, d)
+        net = renode(aig, k=6).extract_po_cone(cout_po)
+        model = ExactModel(net)
+        result = primary_reduce(net, 0, model, model.spcf_fn(Spcf("tt", tt=spcf_tt)))
+        assert result.success
+        assert len(result.windows) >= 1
+
+
+class TestBuildSigma:
+    def test_sigma_is_conjunction(self):
+        aig = ripple_carry_adder(2)
+        net = renode(aig, k=4).extract_po_cone(2)
+        model = ExactModel(net)
+        # Fabricate two windows on two different nodes.
+        internal = [n for n in net.topo_order()]
+        windows = {}
+        for nid in internal[:2]:
+            node = net.nodes[nid]
+            k = len(node.fanins)
+            if k == 0:
+                continue
+            windows[nid] = TruthTable.var(0, k)
+        if len(windows) < 2:
+            return
+        sigma_nid = build_sigma(net, windows)
+        model.recompute()
+        sigma = model.fn(sigma_nid)
+        expected = None
+        for nid, w in windows.items():
+            node = net.nodes[nid]
+            fanin_fns = [model.fn(f) for f in node.fanins]
+            term = w.compose(fanin_fns)
+            expected = term if expected is None else (expected & term)
+        assert sigma == expected

@@ -1,0 +1,159 @@
+"""Tests for SPCF computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ripple_carry_adder
+from repro.aig import AIG, depth, levels, lit_var, random_patterns
+from repro.core import (
+    Spcf,
+    pack_signature,
+    spcf_exact_tt,
+    spcf_overapprox_tt,
+    spcf_signature,
+    timed_simulation,
+    unpack_patterns,
+)
+from repro.tt import TruthTable
+
+from ..aig.test_aig import random_aig
+
+
+class TestExactSpcf:
+    def test_and_chain(self):
+        # y = x0 & x1 & ... in a chain: the full-length path through x0 is
+        # sensitized iff all the other inputs are 1.
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(4)]
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = aig.and_(acc, x)
+        aig.add_po(acc)
+        d = depth(aig)  # 3
+        spcf = spcf_exact_tt(aig, 0, d)
+        v = [TruthTable.var(i, 4) for i in range(4)]
+        # Two length-3 paths exist: from x0 (sides x1,x2,x3 = 1) and from
+        # x1 (sides x0,x2,x3 = 1).
+        assert spcf == (v[1] & v[2] & v[3]) | (v[0] & v[2] & v[3])
+
+    def test_delta_zero_is_tautology(self):
+        aig = random_aig(0, n_pis=4, n_nodes=10, n_pos=1)
+        assert spcf_exact_tt(aig, 0, 0).is_const1
+
+    def test_delta_above_depth_empty(self):
+        aig = random_aig(1, n_pis=4, n_nodes=10, n_pos=1)
+        d = levels(aig)[lit_var(aig.pos[0])]
+        assert spcf_exact_tt(aig, 0, d + 1).is_const0
+
+    def test_adder_carry_chain(self):
+        # Full-length carry propagation requires every propagate bit set:
+        # a_i XOR b_i for all i must be 1 in every SPCF minterm.
+        n = 3
+        aig = ripple_carry_adder(n)
+        cout_po = n  # po index of cout
+        d = levels(aig)[lit_var(aig.pos[cout_po])]
+        spcf = spcf_exact_tt(aig, cout_po, d)
+        assert not spcf.is_const0
+        nv = aig.num_pis
+        for m in spcf.minterms():
+            a = [(m >> i) & 1 for i in range(n)]
+            b = [(m >> (n + i)) & 1 for i in range(n)]
+            # The longest paths launch inside slice 0 and must propagate
+            # through every later slice: a_i != b_i for i >= 1.
+            assert all(a[i] != b[i] for i in range(1, n)), (
+                "SPCF minterm does not propagate through later bit slices"
+            )
+
+    @given(st.integers(0, 20))
+    @settings(deadline=None, max_examples=10)
+    def test_monotone_in_delta(self, seed):
+        aig = random_aig(seed, n_pis=4, n_nodes=20, n_pos=1)
+        d = levels(aig)[lit_var(aig.pos[0])]
+        prev = None
+        for delta in range(d, 0, -1):
+            cur = spcf_exact_tt(aig, 0, delta)
+            if prev is not None:
+                assert prev.implies(cur)  # longer requirement -> fewer minterms
+            prev = cur
+
+
+class TestOverapprox:
+    @given(st.integers(0, 30))
+    @settings(deadline=None, max_examples=15)
+    def test_contains_exact(self, seed):
+        aig = random_aig(seed, n_pis=5, n_nodes=25, n_pos=2)
+        for po in range(aig.num_pos):
+            d = levels(aig)[lit_var(aig.pos[po])]
+            if d == 0:
+                continue
+            exact = spcf_exact_tt(aig, po, d)
+            over = spcf_overapprox_tt(aig, po, d)
+            assert exact.implies(over)
+
+
+class TestTimedSimulation:
+    def test_controlled_and_is_fast(self):
+        # A controlling 0 at one AND input masks a late other input.
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(4)]
+        late = aig.and_(aig.and_(xs[0], xs[1]), xs[2])
+        out = aig.and_(late, xs[3])
+        aig.add_po(out)
+        bits = np.array([[1], [1], [1], [0]], dtype=bool)
+        values, arrivals = timed_simulation(aig, bits)
+        assert not values[lit_var(out)][0]
+        assert arrivals[lit_var(out)][0] == 1  # killed directly by x3=0
+
+    def test_uncontrolled_and_is_slow(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(4)]
+        late = aig.and_(aig.and_(xs[0], xs[1]), xs[2])
+        out = aig.and_(late, xs[3])
+        aig.add_po(out)
+        bits = np.array([[1], [1], [1], [1]], dtype=bool)
+        _values, arrivals = timed_simulation(aig, bits)
+        assert arrivals[lit_var(out)][0] == 3
+
+    def test_pack_unpack_roundtrip(self):
+        words = [0b1011, 0b0110]
+        bits = unpack_patterns(words, 4)
+        assert bits.shape == (2, 4)
+        assert pack_signature(bits[0]) == 0b1011
+        assert pack_signature(bits[1]) == 0b0110
+
+    def test_signature_consistent_with_exact_on_propagating_patterns(self):
+        # Floating-mode arrival == static length on the and-chain circuit.
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(4)]
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = aig.and_(acc, x)
+        aig.add_po(acc)
+        width = 16
+        words = random_patterns(4, width, 3)
+        bits = unpack_patterns(words, width)
+        sig = spcf_signature(aig, 0, 3, bits)
+        exact = spcf_exact_tt(aig, 0, 3)
+        for p in range(width):
+            m = sum(
+                (1 << i) for i in range(4) if bits[i][p]
+            )
+            assert bool((sig >> p) & 1) == exact.value(m)
+
+
+class TestSpcfContainer:
+    def test_tt_mode(self):
+        s = Spcf("tt", tt=TruthTable.var(0, 2))
+        assert s.count == 2 and not s.is_empty()
+
+    def test_sim_mode(self):
+        s = Spcf("sim", signature=0b101)
+        assert s.count == 2
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            Spcf("magic")
+        with pytest.raises(ValueError):
+            Spcf("tt")

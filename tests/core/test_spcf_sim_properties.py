@@ -1,0 +1,65 @@
+"""Property tests for the simulation-domain SPCF machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import depth, levels, lit_var, random_patterns
+from repro.core import (
+    spcf_signature,
+    timed_simulation,
+    unpack_patterns,
+)
+
+from ..aig.test_aig import random_aig
+
+
+class TestTimedSimulationProperties:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_arrival_bounded_by_level(self, seed):
+        # Floating-mode arrival can never exceed the topological level.
+        aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=2)
+        lvl = levels(aig)
+        bits = unpack_patterns(random_patterns(5, 64, seed), 64)
+        values, arrivals = timed_simulation(aig, bits)
+        for var in aig.and_vars():
+            assert int(arrivals[var].max()) <= lvl[var]
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_values_match_plain_simulation(self, seed):
+        # Timed simulation's value component equals untimed simulation.
+        from repro.aig import lit_word, simulate
+
+        aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=2)
+        width = 64
+        words = random_patterns(5, width, seed)
+        plain = simulate(aig, words, width)
+        bits = unpack_patterns(words, width)
+        values, _arr = timed_simulation(aig, bits)
+        for var in aig.and_vars():
+            for p in range(width):
+                assert bool(values[var][p]) == bool((plain[var] >> p) & 1)
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_signature_monotone_in_delta(self, seed):
+        aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=1)
+        d = levels(aig)[lit_var(aig.pos[0])]
+        if d == 0:
+            return
+        bits = unpack_patterns(random_patterns(5, 64, seed), 64)
+        timed = timed_simulation(aig, bits)
+        prev = None
+        for delta in range(d, 0, -1):
+            sig = spcf_signature(aig, 0, delta, None, timed=timed)
+            if prev is not None:
+                assert prev & ~sig == 0  # higher delta -> subset
+            prev = sig
+
+    def test_empty_pattern_matrix(self):
+        aig = random_aig(0, n_pis=3, n_nodes=5, n_pos=1)
+        bits = np.zeros((3, 0), dtype=bool)
+        values, arrivals = timed_simulation(aig, bits)
+        assert all(v.shape == (0,) for v in values)

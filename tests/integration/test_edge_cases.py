@@ -1,0 +1,105 @@
+"""Edge-case and failure-injection tests across the toolchain."""
+
+import pytest
+
+from repro.aig import AIG, CONST0, CONST1, depth, lit_not, po_tts
+from repro.cec import check_equivalence
+from repro.core import LookaheadOptimizer, sat_sweep
+from repro.mapping import map_aig
+from repro.netlist import network_to_aig, renode
+from repro.opt import abc_resyn2rs, balance, dc_map_effort_high, speed_up
+
+ALL_PIPELINE = [
+    balance,
+    speed_up,
+    abc_resyn2rs,
+    dc_map_effort_high,
+    lambda a: LookaheadOptimizer(max_rounds=2).optimize(a),
+    sat_sweep,
+]
+
+
+def _degenerate_circuits():
+    # Constant outputs.
+    c1 = AIG()
+    c1.add_pi("x")
+    c1.add_po(CONST0, "zero")
+    c1.add_po(CONST1, "one")
+    # PO wired straight to a PI (both polarities) and duplicated POs.
+    c2 = AIG()
+    x = c2.add_pi("x")
+    y = c2.add_pi("y")
+    c2.add_po(x, "same")
+    c2.add_po(lit_not(x), "inv")
+    n = c2.and_(x, y)
+    c2.add_po(n, "n1")
+    c2.add_po(n, "n2")
+    # Single gate.
+    c3 = AIG()
+    a, b = c3.add_pi(), c3.add_pi()
+    c3.add_po(c3.and_(a, b))
+    # Deep chain of one variable: x & x & ... collapses by strashing, so
+    # alternate polarities to keep structure.
+    c4 = AIG()
+    xs = [c4.add_pi() for _ in range(3)]
+    acc = xs[0]
+    for i in range(6):
+        acc = c4.xor_(acc, xs[i % 3])
+    c4.add_po(acc)
+    return [c1, c2, c3, c4]
+
+
+@pytest.mark.parametrize("idx", range(4))
+@pytest.mark.parametrize("flow_idx", range(len(ALL_PIPELINE)))
+def test_flows_survive_degenerate_circuits(idx, flow_idx):
+    aig = _degenerate_circuits()[idx]
+    out = ALL_PIPELINE[flow_idx](aig)
+    assert check_equivalence(aig, out)
+
+
+@pytest.mark.parametrize("idx", range(4))
+def test_renode_roundtrip_degenerate(idx):
+    aig = _degenerate_circuits()[idx]
+    back = network_to_aig(renode(aig))
+    assert check_equivalence(aig, back)
+
+
+@pytest.mark.parametrize("idx", range(4))
+def test_mapping_degenerate(idx):
+    aig = _degenerate_circuits()[idx]
+    net = map_aig(aig)
+    for m in range(1 << aig.num_pis):
+        bits = [bool((m >> i) & 1) for i in range(aig.num_pis)]
+        from repro.aig import evaluate
+
+        assert net.evaluate(bits) == evaluate(aig, bits)
+
+
+def test_optimizer_on_zero_po_circuit():
+    aig = AIG()
+    aig.add_pi()
+    out = LookaheadOptimizer().optimize(aig)
+    assert out.num_pos == 0
+
+
+def test_optimizer_keeps_po_names():
+    aig = AIG()
+    a, b = aig.add_pi("alpha"), aig.add_pi("beta")
+    aig.add_po(aig.xor_(a, b), "sum_out")
+    out = LookaheadOptimizer(max_rounds=2).optimize(aig)
+    assert out.po_names == ["sum_out"]
+    assert out.pi_names == ["alpha", "beta"]
+
+
+def test_deep_xor_ladder_optimizes_safely():
+    # XOR ladders have no SPCF-maskable paths (every path sensitizable
+    # both ways); the optimizer must not break or worsen them.
+    aig = AIG()
+    xs = [aig.add_pi() for _ in range(8)]
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = aig.xor_(acc, x)
+    aig.add_po(acc)
+    out = LookaheadOptimizer(max_rounds=4).optimize(aig)
+    assert check_equivalence(aig, out)
+    assert depth(out) <= depth(aig)

@@ -1,0 +1,135 @@
+"""Tests for technology mapping, STA, and power estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ripple_carry_adder
+from repro.aig import AIG, evaluate
+from repro.mapping import (
+    Cell,
+    default_library,
+    dynamic_power_uw,
+    map_aig,
+    mapped_delay,
+    signal_loads,
+    switching_activities,
+)
+from repro.mapping.mapper import _MatchIndex
+from repro.tt import TruthTable
+
+from ..aig.test_aig import random_aig
+
+
+class TestLibrary:
+    def test_cells_well_formed(self):
+        for cell in default_library():
+            assert cell.num_inputs >= 1
+            assert cell.area > 0
+            assert cell.intrinsic_delay > 0
+            assert cell.delay(5.0) > cell.delay(0.0)
+
+    def test_contains_mapping_essentials(self):
+        names = {c.name for c in default_library()}
+        assert {"INV", "AND2", "NAND2"} <= names
+
+
+class TestMatching:
+    def test_permuted_match_pin_assignment(self):
+        cells = default_library()
+        index = _MatchIndex(cells)
+        aoi21 = next(c for c in cells if c.name == "AOI21")
+        # Same function with pins permuted: !(c | (b and a)).
+        permuted = TruthTable.from_function(
+            lambda a, b, c: not ((b and c) or a), 3
+        )
+        hits = [m for m in index.matches(permuted) if m[0].name == "AOI21"]
+        assert hits
+        cell, leaf_of_pin = hits[0]
+        # Verify the pin assignment by re-evaluating.
+        for m in range(8):
+            leaves = [bool((m >> i) & 1) for i in range(3)]
+            pin_values = [leaves[leaf_of_pin[j]] for j in range(3)]
+            assert cell.tt.evaluate(pin_values) == permuted.evaluate(leaves)
+
+    def test_no_match_for_alien_function(self):
+        index = _MatchIndex(default_library())
+        xor3 = TruthTable.from_function(lambda a, b, c: (a + b + c) % 2 == 1, 3)
+        assert all(m[0].tt.nvars == 3 for m in index.matches(xor3))
+        # XOR3 is not in the library in either phase.
+        assert not index.matches(xor3)
+
+
+class TestMapAig:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=12)
+    def test_functional_correctness(self, seed):
+        aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=3)
+        net = map_aig(aig)
+        for m in range(32):
+            bits = [bool((m >> i) & 1) for i in range(5)]
+            assert net.evaluate(bits) == evaluate(aig, bits)
+
+    def test_adder_mapping_correct(self):
+        import random
+
+        n = 4
+        aig = ripple_carry_adder(n)
+        net = map_aig(aig)
+        rng = random.Random(1)
+        for _ in range(60):
+            a, b, c = rng.randrange(16), rng.randrange(16), rng.randrange(2)
+            bits = (
+                [bool((a >> i) & 1) for i in range(n)]
+                + [bool((b >> i) & 1) for i in range(n)]
+                + [bool(c)]
+            )
+            out = net.evaluate(bits)
+            got = sum(1 << i for i in range(n) if out[i])
+            got += (1 << n) if out[n] else 0
+            assert got == a + b + c
+
+    def test_shallower_aig_maps_faster(self):
+        from repro.opt import dc_map_effort_high
+
+        aig = ripple_carry_adder(8)
+        fast = dc_map_effort_high(aig)
+        assert mapped_delay(map_aig(fast)) < mapped_delay(map_aig(aig))
+
+    def test_constant_po(self):
+        aig = AIG()
+        aig.add_pi()
+        aig.add_po(1)
+        net = map_aig(aig)
+        assert net.evaluate([True]) == [True]
+        assert net.evaluate([False]) == [True]
+
+    def test_area_positive_and_delay_monotone(self):
+        aig = random_aig(3)
+        net = map_aig(aig)
+        assert net.area > 0
+        assert net.delay() > 0
+        assert mapped_delay(net) > 0
+
+
+class TestPower:
+    def test_activities_bounded(self):
+        aig = random_aig(2)
+        net = map_aig(aig)
+        acts = switching_activities(net)
+        assert all(0.0 <= a <= 0.5 for a in acts.values())
+
+    def test_power_positive_and_scales_with_gates(self):
+        small = map_aig(ripple_carry_adder(2))
+        big = map_aig(ripple_carry_adder(8))
+        p_small = dynamic_power_uw(small)
+        p_big = dynamic_power_uw(big)
+        assert 0 < p_small < p_big
+
+    def test_loads_include_po_cap(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.and_(a, b))
+        net = map_aig(aig)
+        loads = signal_loads(net)
+        assert loads[net.po_signals[0]] > 0

@@ -1,0 +1,99 @@
+"""Focused tests for the STA and power arithmetic."""
+
+import pytest
+
+from repro.aig import AIG
+from repro.mapping import (
+    analyze,
+    default_library,
+    dynamic_power_uw,
+    map_aig,
+    signal_loads,
+)
+from repro.mapping.library import FREQUENCY_HZ, VDD
+from repro.mapping.sta import PO_CAP_FF, WIRE_CAP_FF
+
+
+def single_gate_netlist():
+    aig = AIG()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.and_(a, b))
+    return map_aig(aig)
+
+
+class TestLoads:
+    def test_po_load_formula(self):
+        net = single_gate_netlist()
+        loads = signal_loads(net)
+        out_sig = net.po_signals[0]
+        assert loads[out_sig] == pytest.approx(WIRE_CAP_FF + PO_CAP_FF)
+
+    def test_fanout_adds_pin_caps(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        shared = aig.and_(a, b)
+        aig.add_po(aig.and_(shared, c))
+        aig.add_po(aig.and_(shared, a))
+        net = map_aig(aig)
+        loads = signal_loads(net)
+        shared_sig = (shared >> 1, False)
+        if shared_sig in loads:
+            consumers = [
+                g for g in net.gates if shared_sig in g.inputs
+            ]
+            expected = WIRE_CAP_FF + sum(
+                g.cell.input_cap
+                for g in consumers
+                for s in g.inputs
+                if s == shared_sig
+            )
+            assert loads[shared_sig] == pytest.approx(expected)
+
+
+class TestArrival:
+    def test_single_gate_arrival_is_cell_delay(self):
+        net = single_gate_netlist()
+        worst, arrival = analyze(net)
+        gate = net.gates[-1]
+        load = signal_loads(net)[gate.output]
+        assert worst == pytest.approx(gate.cell.delay(load))
+
+    def test_load_increases_delay(self):
+        cell = default_library()[0]
+        assert cell.delay(10.0) > cell.delay(1.0)
+
+    def test_arrival_is_max_over_inputs_plus_delay(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(4)]
+        deep = aig.and_(aig.and_(xs[0], xs[1]), xs[2])
+        out = aig.and_(deep, xs[3])
+        aig.add_po(out)
+        net = map_aig(aig)
+        worst, arrival = analyze(net)
+        for gate in net.gates:
+            expected = max(
+                (arrival.get(s, 0.0) for s in gate.inputs), default=0.0
+            ) + gate.cell.delay(signal_loads(net)[gate.output])
+            assert arrival[gate.output] == pytest.approx(expected)
+
+
+class TestPowerMath:
+    def test_single_gate_power_formula(self):
+        net = single_gate_netlist()
+        # AND of two independent uniform inputs: p(one) = 1/4,
+        # activity = 2 * 1/4 * 3/4 = 3/8 (simulation estimates this).
+        power = dynamic_power_uw(net, sim_width=4096, seed=3)
+        loads = signal_loads(net)
+        total_c = sum(
+            loads[g.output] for g in net.gates
+        ) * 1e-15
+        # Upper bound with activity 0.5 everywhere:
+        upper = 0.5 * total_c * VDD * VDD * FREQUENCY_HZ * 1e6
+        assert 0 < power <= upper * 1.01
+
+    def test_constant_output_zero_dynamic_power(self):
+        aig = AIG()
+        a = aig.add_pi()
+        aig.add_po(aig.and_(a, a ^ 1))  # constant 0
+        net = map_aig(aig)
+        assert dynamic_power_uw(net) == pytest.approx(0.0)

@@ -1,0 +1,99 @@
+"""Tests for Verilog emission and the command-line interface."""
+
+import io
+import re
+
+import pytest
+
+from repro.aig import evaluate
+from repro.bench import BENCHMARKS
+from repro.cli import main
+from repro.mapping import map_aig
+from repro.mapping.verilog import write_verilog
+
+from ..aig.test_aig import random_aig
+
+
+def _evaluate_verilog(text: str, input_values: dict) -> dict:
+    """Tiny structural-Verilog evaluator for `assign`-only modules."""
+    values = dict(input_values)
+    values["1'b0"] = False
+    values["1'b1"] = True
+    assigns = re.findall(r"assign\s+(\S+)\s*=\s*(.+?);", text)
+    for lhs, rhs in assigns:
+        expr = rhs.split("//")[0].strip()
+        # Verilog -> Python: ternary first, then bit operators.
+        expr = re.sub(
+            r"\(\s*(\w+)\s*\?\s*(\w+)\s*:\s*(\w+)\s*\)",
+            r"(\2 if \1 else \3)",
+            expr,
+        )
+        expr = expr.replace("~", " not ").replace("&", " and ")
+        expr = expr.replace("|", " or ").replace("^", " != ")
+        expr = expr.replace("1'b0", "False").replace("1'b1", "True")
+        values[lhs] = bool(eval(expr, {"__builtins__": {}}, values))
+    return values
+
+
+class TestVerilog:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_verilog_matches_netlist(self, seed):
+        aig = random_aig(seed, n_pis=5, n_nodes=25, n_pos=3)
+        netlist = map_aig(aig)
+        buf = io.StringIO()
+        write_verilog(netlist, buf)
+        text = buf.getvalue()
+        assert "module top" in text and "endmodule" in text
+        for m in range(32):
+            bits = [bool((m >> i) & 1) for i in range(5)]
+            env = dict(zip(aig.pi_names, bits))
+            values = _evaluate_verilog(text, env)
+            expected = evaluate(aig, bits)
+            got = [values[name] for name in aig.po_names]
+            assert got == expected, f"minterm {m}"
+
+    def test_every_gate_commented_with_cell(self):
+        aig = random_aig(1)
+        netlist = map_aig(aig)
+        buf = io.StringIO()
+        write_verilog(netlist, buf)
+        assert buf.getvalue().count("//") >= netlist.num_gates
+
+
+class TestCli:
+    def test_stats_roundtrip(self, tmp_path, capsys):
+        assert main(["bench", "--circuit", "C432",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert main(["stats", str(tmp_path / "C432.aag")]) == 0
+        out = capsys.readouterr().out
+        assert "ands   : 223" in out
+
+    def test_optimize_and_map(self, tmp_path, capsys):
+        src = tmp_path / "c.aag"
+        from repro.adders import ripple_carry_adder
+        from repro.aig import write_aag
+
+        with open(src, "w") as fh:
+            write_aag(ripple_carry_adder(3), fh)
+        dst = tmp_path / "opt.aag"
+        assert main(["optimize", str(src), "--flow", "abc",
+                     "-o", str(dst)]) == 0
+        assert dst.exists()
+        v = tmp_path / "out.v"
+        assert main(["map", str(dst), "-o", str(v)]) == 0
+        assert "module top" in v.read_text()
+
+    def test_unknown_bench_circuit(self, capsys):
+        assert main(["bench", "--circuit", "nope"]) == 1
+
+    def test_blif_io(self, tmp_path, capsys):
+        from repro.adders import ripple_carry_adder
+        from repro.aig import write_blif
+
+        src = tmp_path / "c.blif"
+        with open(src, "w") as fh:
+            write_blif(ripple_carry_adder(2), fh)
+        dst = tmp_path / "o.blif"
+        assert main(["optimize", str(src), "--flow", "abc",
+                     "-o", str(dst)]) == 0
+        assert dst.read_text().startswith(".model")

@@ -1,0 +1,91 @@
+"""Hypothesis invariants for network cloning, cones, and evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Network, compute_levels, network_to_aig, renode
+from repro.tt import TruthTable
+
+from ..aig.test_aig import random_aig
+
+
+def _random_net(seed):
+    aig = random_aig(seed, n_pis=5, n_nodes=25, n_pos=3)
+    return renode(aig, k=4)
+
+
+class TestClone:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_clone_is_independent(self, seed):
+        net = _random_net(seed)
+        dup = net.clone()
+        before = net.po_tts()
+        # Mutate the clone: flip one internal node's function.
+        internal = dup.topo_order()
+        if internal:
+            nid = internal[0]
+            dup.set_function(nid, ~dup.nodes[nid].tt)
+        assert net.po_tts() == before
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_clone_equals_original(self, seed):
+        net = _random_net(seed)
+        assert net.clone().po_tts() == net.po_tts()
+
+
+class TestConeExtraction:
+    @given(st.integers(0, 40), st.integers(0, 2))
+    @settings(deadline=None, max_examples=15)
+    def test_cone_po_function_preserved(self, seed, po):
+        net = _random_net(seed)
+        po %= len(net.pos)
+        cone = net.extract_po_cone(po)
+        assert cone.po_tts()[0] == net.po_tts()[po]
+
+    @given(st.integers(0, 40), st.integers(0, 2))
+    @settings(deadline=None, max_examples=15)
+    def test_cone_levels_match(self, seed, po):
+        net = _random_net(seed)
+        po %= len(net.pos)
+        cone = net.extract_po_cone(po)
+        full_levels = compute_levels(net)
+        cone_levels = compute_levels(cone)
+        root_full, _ = net.pos[po]
+        root_cone, _ = cone.pos[0]
+        assert cone_levels[root_cone] == full_levels[root_full]
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_cone_no_larger_than_parent(self, seed):
+        net = _random_net(seed)
+        for po in range(len(net.pos)):
+            cone = net.extract_po_cone(po)
+            assert cone.num_internal() <= net.num_internal()
+
+
+class TestEvaluationConsistency:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_evaluate_matches_global_tts(self, seed):
+        net = _random_net(seed)
+        tts = net.po_tts()
+        n = len(net.pis)
+        for m in range(min(1 << n, 32)):
+            bits = [bool((m >> i) & 1) for i in range(n)]
+            out = net.evaluate(bits)
+            assert out == [t.value(m) for t in tts]
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=10)
+    def test_network_to_aig_roundtrip_levels_sane(self, seed):
+        net = _random_net(seed)
+        aig = network_to_aig(net)
+        from repro.aig import depth
+
+        # The synthesized AIG depth should be within the level model's
+        # estimate times a small constant (trees can't explode).
+        from repro.netlist import network_depth
+
+        assert depth(aig) <= 3 * max(network_depth(net), 1) + 2

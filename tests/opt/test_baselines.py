@@ -1,0 +1,119 @@
+"""Tests for the baseline optimization flows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ripple_carry_adder
+from repro.aig import AIG, depth
+from repro.cec import check_equivalence
+from repro.opt import (
+    abc_resyn2rs,
+    balance,
+    dc_map_effort_high,
+    refactor,
+    rewrite,
+    sis_best,
+    sis_minimize,
+    speed_up,
+)
+
+from ..aig.test_aig import random_aig
+
+ALL_FLOWS = [
+    balance,
+    rewrite,
+    refactor,
+    speed_up,
+    sis_minimize,
+    abc_resyn2rs,
+    sis_best,
+    dc_map_effort_high,
+]
+
+
+class TestEquivalence:
+    @given(st.integers(0, 40), st.sampled_from(ALL_FLOWS))
+    @settings(deadline=None, max_examples=25)
+    def test_flows_preserve_function(self, seed, flow):
+        aig = random_aig(seed, n_pis=6, n_nodes=35, n_pos=3)
+        out = flow(aig)
+        assert check_equivalence(aig, out), flow.__name__
+
+    @given(st.sampled_from(ALL_FLOWS))
+    @settings(deadline=None, max_examples=8)
+    def test_flows_on_adder(self, flow):
+        aig = ripple_carry_adder(4)
+        out = flow(aig)
+        assert check_equivalence(aig, out), flow.__name__
+
+
+class TestBalance:
+    def test_flattens_and_chain(self):
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(8)]
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = aig.and_(acc, x)
+        aig.add_po(acc)
+        out = balance(aig)
+        assert depth(out) == 3
+        assert check_equivalence(aig, out)
+
+    def test_respects_arrival_times(self):
+        # A late leaf should end up near the root of the rebuilt tree.
+        aig = AIG()
+        xs = [aig.add_pi() for _ in range(6)]
+        late = aig.xor_(aig.xor_(xs[0], xs[1]), xs[2])  # level 4
+        acc = late
+        for x in xs[3:]:
+            acc = aig.and_(acc, x)
+        aig.add_po(acc)
+        out = balance(aig)
+        assert depth(out) == 5  # late at 4, three early leaves merge below
+        assert check_equivalence(aig, out)
+
+    def test_never_increases_depth(self):
+        for seed in range(10):
+            aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=2)
+            assert depth(balance(aig)) <= depth(aig)
+
+    def test_constant_collapse(self):
+        aig = AIG()
+        a = aig.add_pi()
+        aig.add_po(aig.and_(a, 0))  # and with constant 0
+        out = balance(aig)
+        assert check_equivalence(aig, out)
+
+
+class TestObjectives:
+    def test_area_rewrite_does_not_grow(self):
+        aig = ripple_carry_adder(6)
+        out = rewrite(aig, objective="area")
+        assert out.num_ands() <= aig.num_ands()
+
+    def test_delay_rewrite_reduces_adder_depth(self):
+        aig = ripple_carry_adder(6)
+        out = rewrite(aig, objective="delay")
+        assert depth(out) < depth(aig)
+        assert check_equivalence(aig, out)
+
+
+class TestFlowShape:
+    def test_speed_up_reduces_ripple_depth(self):
+        aig = ripple_carry_adder(8)
+        assert depth(speed_up(aig)) < depth(aig)
+
+    def test_dc_at_least_as_good_as_parts(self):
+        aig = ripple_carry_adder(8)
+        d_dc = depth(dc_map_effort_high(aig))
+        assert d_dc <= depth(abc_resyn2rs(aig))
+        assert d_dc <= depth(sis_best(aig))
+
+    def test_table1_tool_ordering_on_adder(self):
+        # The paper's Table 1 ordering on ripple adders:
+        # ABC (area flow) leaves depth ~unchanged; SIS improves; DC best.
+        aig = ripple_carry_adder(8)
+        d_abc = depth(abc_resyn2rs(aig))
+        d_sis = depth(sis_best(aig))
+        d_dc = depth(dc_map_effort_high(aig))
+        assert d_dc <= d_sis <= d_abc

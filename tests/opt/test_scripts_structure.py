@@ -1,0 +1,50 @@
+"""Structural guarantees of the named baseline flows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import ripple_carry_adder
+from repro.aig import depth
+from repro.opt import (
+    BASELINE_FLOWS,
+    abc_resyn2rs,
+    dc_map_effort_high,
+    sis_best,
+)
+
+from ..aig.test_aig import random_aig
+
+
+def test_baseline_flow_registry():
+    assert set(BASELINE_FLOWS) == {"sis", "abc", "dc"}
+    aig = ripple_carry_adder(3)
+    for name, flow in BASELINE_FLOWS.items():
+        out = flow(aig)
+        assert out.num_pos == aig.num_pos, name
+
+
+@given(st.integers(0, 20))
+@settings(deadline=None, max_examples=6)
+def test_dc_dominates_academic_flows(seed):
+    # dc_map_effort_high includes both academic flows among its
+    # candidates, so it can never be deeper than either.
+    aig = random_aig(seed, n_pis=6, n_nodes=40, n_pos=3)
+    d_dc = depth(dc_map_effort_high(aig))
+    assert d_dc <= depth(sis_best(aig))
+    assert d_dc <= depth(abc_resyn2rs(aig))
+
+
+@given(st.integers(0, 20))
+@settings(deadline=None, max_examples=6)
+def test_flows_deterministic(seed):
+    aig = random_aig(seed, n_pis=5, n_nodes=30, n_pos=2)
+    a = dc_map_effort_high(aig)
+    b = dc_map_effort_high(aig)
+    assert a.num_ands() == b.num_ands()
+    assert depth(a) == depth(b)
+
+
+def test_resyn2rs_never_grows_adder():
+    aig = ripple_carry_adder(8)
+    out = abc_resyn2rs(aig)
+    assert out.num_ands() <= aig.num_ands()

@@ -1,0 +1,54 @@
+"""Tests for the circuit-level implication helper APIs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import lit_not, node_tts, lit_var, lit_neg
+from repro.sat import implies, is_satisfiable
+
+from ..aig.test_aig import random_aig
+
+
+def _tt(aig, lit):
+    t = node_tts(aig)[lit_var(lit)]
+    return ~t if lit_neg(lit) else t
+
+
+@given(st.integers(0, 60))
+@settings(deadline=None, max_examples=15)
+def test_implies_matches_truth_tables(seed):
+    import random
+
+    rng = random.Random(seed)
+    aig = random_aig(seed, n_pis=4, n_nodes=18, n_pos=1)
+    ands = [v for v in aig.and_vars()]
+    if len(ands) < 2:
+        return
+    a = ands[rng.randrange(len(ands))] * 2 ^ rng.randint(0, 1)
+    b = ands[rng.randrange(len(ands))] * 2 ^ rng.randint(0, 1)
+    assert implies(aig, a, b) == _tt(aig, a).implies(_tt(aig, b))
+
+
+@given(st.integers(0, 60))
+@settings(deadline=None, max_examples=15)
+def test_satisfiable_matches_truth_tables(seed):
+    aig = random_aig(seed, n_pis=4, n_nodes=18, n_pos=1)
+    po = aig.pos[0]
+    sat, model = is_satisfiable(aig, po)
+    assert sat == (not _tt(aig, po).is_const0)
+    if sat:
+        m = sum(1 << i for i, b in enumerate(model) if b)
+        assert _tt(aig, po).value(m)
+
+
+def test_implication_with_assumptions():
+    from repro.aig import AIG
+
+    aig = AIG()
+    a, b, c = (aig.add_pi() for _ in range(3))
+    ab = aig.and_(a, b)
+    abc = aig.and_(ab, c)
+    sat, model = is_satisfiable(aig, ab, assumptions_lits=[lit_not(c)])
+    assert sat and model[0] and model[1] and not model[2]
+    sat, _ = is_satisfiable(aig, abc, assumptions_lits=[lit_not(c)])
+    assert not sat

@@ -1,0 +1,93 @@
+"""Tests for cubes and SOP covers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sop import Cube, Cover
+from repro.tt import TruthTable
+
+
+def cube_strategy(nvars=4):
+    return st.tuples(
+        st.integers(0, (1 << nvars) - 1), st.integers(0, (1 << nvars) - 1)
+    ).map(lambda mv: Cube(mv[0], mv[1], nvars))
+
+
+class TestCube:
+    def test_parse_and_print_roundtrip(self):
+        for text in ("1-0", "---", "111", "0-1"):
+            assert Cube.parse(text).to_string() == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.parse("1x0")
+
+    def test_contains_minterm(self):
+        c = Cube.parse("1-0")  # x2=1, x0=0
+        assert c.contains_minterm(0b100)
+        assert c.contains_minterm(0b110)
+        assert not c.contains_minterm(0b101)
+
+    def test_from_literals_conflict(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals([(0, True), (0, False)], 3)
+
+    @given(cube_strategy(), cube_strategy())
+    def test_covers_matches_tt(self, a, b):
+        assert a.covers(b) == b.to_tt().implies(a.to_tt())
+
+    @given(cube_strategy(), cube_strategy())
+    def test_intersect_matches_tt(self, a, b):
+        inter = a.intersect(b)
+        tt = a.to_tt() & b.to_tt()
+        if inter is None:
+            assert tt.is_const0
+        else:
+            assert inter.to_tt() == tt
+
+    @given(cube_strategy())
+    def test_size_matches_tt(self, c):
+        assert c.size() == c.to_tt().count_ones()
+
+    @given(cube_strategy(), st.integers(0, 3), st.booleans())
+    def test_cofactor_matches_tt(self, c, var, pol):
+        cof = c.cofactor(var, pol)
+        tt_cof = c.to_tt().cofactor(var, pol)
+        if cof is None:
+            assert tt_cof.is_const0
+        else:
+            assert cof.to_tt() == tt_cof
+
+    def test_distance(self):
+        a = Cube.parse("11-")
+        b = Cube.parse("00-")
+        assert a.distance(b) == 2
+
+
+class TestCover:
+    def test_tautology_and_empty(self):
+        assert Cover.tautology(3).to_tt().is_const1
+        assert Cover.empty(3).to_tt().is_const0
+
+    def test_parse_multi(self):
+        cov = Cover.parse(["1-0", "011"])
+        assert len(cov) == 2
+        assert cov.num_literals() == 5
+
+    def test_scc_removes_contained(self):
+        cov = Cover.parse(["1--", "11-", "111"])
+        reduced = cov.single_cube_containment()
+        assert len(reduced) == 1
+        assert reduced.to_tt() == cov.to_tt()
+
+    @given(st.lists(cube_strategy(), min_size=1, max_size=6))
+    def test_scc_preserves_function(self, cubes):
+        cov = Cover(cubes, 4)
+        assert cov.single_cube_containment().to_tt() == cov.to_tt()
+
+    @given(st.lists(cube_strategy(), min_size=0, max_size=6),
+           st.integers(0, 3), st.booleans())
+    def test_cofactor_matches_tt(self, cubes, var, pol):
+        cov = Cover(cubes, 4)
+        assert cov.cofactor(var, pol).to_tt() == cov.to_tt().cofactor(var, pol)

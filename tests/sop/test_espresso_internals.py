@@ -1,0 +1,87 @@
+"""Focused tests for espresso-loop internals (expand/irredundant/reduce)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import Cover, Cube, isop
+from repro.sop.espresso import _expand, _irredundant, _reduce, _supercube
+from repro.tt import TruthTable
+
+
+def tt_strategy(max_vars=4):
+    return st.integers(2, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.integers(1, (1 << (1 << n)) - 2), st.just(n)
+        )
+    )
+
+
+class TestExpand:
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=30)
+    def test_expand_stays_off_offset(self, on):
+        off = ~on
+        cover = isop(on)
+        expanded = _expand(cover, off)
+        assert (expanded.to_tt() & off).is_const0
+        assert on.implies(expanded.to_tt())
+
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=30)
+    def test_expand_never_adds_literals(self, on):
+        cover = isop(on)
+        expanded = _expand(cover, ~on)
+        assert expanded.num_literals() <= cover.num_literals()
+
+
+class TestIrredundant:
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=30)
+    def test_removal_keeps_coverage(self, on):
+        cover = isop(on)
+        # Duplicate a cube to create redundancy.
+        padded = Cover(cover.cubes + cover.cubes[:1], on.nvars)
+        slim = _irredundant(padded, on)
+        assert on.implies(slim.to_tt())
+        assert len(slim) <= len(padded)
+
+    def test_removes_absorbed_cube(self):
+        cover = Cover.parse(["1--", "11-"])
+        on = cover.to_tt()
+        slim = _irredundant(cover, on)
+        assert len(slim) == 1
+
+
+class TestReduce:
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=40)
+    def test_reduce_keeps_on_set_covered(self, on):
+        # The regression hypothesis found: simultaneous (snapshot) reduce
+        # can drop minterms shared by two cubes; sequential reduce must
+        # keep the on-set fully covered.
+        cover = isop(on)
+        reduced = _reduce(cover, on)
+        assert on.implies(reduced.to_tt())
+
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=30)
+    def test_reduce_stays_within_original(self, on):
+        cover = isop(on)
+        reduced = _reduce(cover, on)
+        assert reduced.to_tt().implies(cover.to_tt())
+
+
+class TestSupercube:
+    @given(tt_strategy())
+    @settings(deadline=None, max_examples=30)
+    def test_smallest_enclosing_cube(self, t):
+        sc = _supercube(t)
+        assert t.implies(sc.to_tt())
+        # Minimality: every literal of the supercube is forced.
+        for var, _pol in sc.literals():
+            assert not t.implies(sc.without(var).to_tt()) or \
+                sc.without(var).covers(sc)
+
+    def test_exact_for_single_minterm(self):
+        t = TruthTable.from_minterms([0b0110], 4)
+        assert _supercube(t).to_string() == "0110"

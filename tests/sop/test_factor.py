@@ -1,0 +1,113 @@
+"""Tests for algebraic division, kernels, and factoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import Cover, Cube, divide, factor, kernels, min_sop
+from repro.sop.factor import (
+    best_kernel,
+    common_cube,
+    expr_to_cover,
+    is_cube_free,
+    _to_acubes,
+)
+from repro.tt import TruthTable
+
+
+def tt_strategy(max_vars=5):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.integers(0, (1 << (1 << n)) - 1), st.just(n)
+        )
+    )
+
+
+def _acubes(texts):
+    return _to_acubes(Cover.parse(texts))
+
+
+class TestDivision:
+    def test_exact_division(self):
+        # f = a b + a c = a (b + c): divide by (b + c).
+        f = _acubes(["-11", "1-1"])  # x1x0, x2x0 with x0 = a
+        d = _acubes(["-1-", "1--"])  # x1, x2
+        q, r = divide(f, d)
+        assert q == [frozenset({(0, True)})]
+        assert r == []
+
+    def test_division_with_remainder(self):
+        # f = ab + ac + d.
+        f = _acubes(["--11", "-1-1", "1---"])
+        d = _acubes(["--1-", "-1--"])
+        q, r = divide(f, d)
+        assert len(q) == 1 and len(r) == 1
+
+    def test_non_divisor(self):
+        f = _acubes(["--1"])
+        d = _acubes(["11-"])
+        q, r = divide(f, d)
+        assert q == [] and len(r) == 1
+
+    @given(tt_strategy(4))
+    @settings(deadline=None)
+    def test_divide_reconstructs(self, t):
+        cover = min_sop(t)
+        f = _to_acubes(cover)
+        ker = best_kernel(f)
+        if ker is None:
+            return
+        q, r = divide(f, ker)
+        if not q:
+            return
+        # f == ker*q + r as cube sets.
+        product = {kc | qc for kc in ker for qc in q}
+        assert product | set(r) == set(f)
+
+
+class TestKernels:
+    def test_common_cube(self):
+        f = _acubes(["-11", "111"])
+        assert common_cube(f) == frozenset({(0, True), (1, True)})
+
+    def test_cube_free(self):
+        assert is_cube_free(_acubes(["-1-", "1--"]))
+        assert not is_cube_free(_acubes(["-11", "1-1"]))
+
+    def test_kernels_of_classic_example(self):
+        # f = ace + bce + de + g (the classic SIS example, one-hot coded).
+        # Variables: a=0,b=1,c=2,d=3,e=4,g=5.
+        f = [
+            frozenset({(0, True), (2, True), (4, True)}),
+            frozenset({(1, True), (2, True), (4, True)}),
+            frozenset({(3, True), (4, True)}),
+            frozenset({(5, True)}),
+        ]
+        kernel_sets = [frozenset(k) for _c, k in kernels(f)]
+        ab = frozenset(
+            {frozenset({(0, True)}), frozenset({(1, True)})}
+        )
+        assert ab in kernel_sets  # (a + b) is a kernel (co-kernel ce)
+
+
+class TestFactor:
+    @given(tt_strategy())
+    @settings(deadline=None)
+    def test_factor_preserves_function(self, t):
+        cover = min_sop(t)
+        expr = factor(cover)
+        assert expr_to_cover(expr, t.nvars).to_tt() == t
+
+    @given(tt_strategy(4))
+    @settings(deadline=None)
+    def test_factor_never_more_literals_than_cover(self, t):
+        cover = min_sop(t)
+        assert factor(cover).num_literals() <= max(cover.num_literals(), 1)
+
+    def test_factor_finds_sharing(self):
+        # ab + ac + ad = a(b + c + d): 4 literals factored vs 6 flat.
+        cov = Cover.parse(["--11", "-1-1", "1--1"])
+        assert factor(cov).num_literals() == 4
+
+    def test_constants(self):
+        assert factor(Cover.empty(3)).kind == "const0"
+        assert factor(Cover.tautology(3)).kind == "const1"

@@ -1,0 +1,128 @@
+"""Tests for ISOP, Quine-McCluskey, and espresso-style minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import espresso, isop, min_sop, minimize_exact, prime_implicants
+from repro.sop.espresso import _supercube
+from repro.tt import TruthTable
+
+
+def tt_pair_strategy(max_vars=5):
+    """(on, dc) pair of disjoint truth tables."""
+
+    def build(n):
+        full = (1 << (1 << n)) - 1
+        return st.tuples(
+            st.integers(0, full), st.integers(0, full), st.just(n)
+        ).map(
+            lambda t: (
+                TruthTable(t[0] & ~t[1], t[2]),
+                TruthTable(t[1], t[2]),
+            )
+        )
+
+    return st.integers(1, max_vars).flatmap(build)
+
+
+class TestIsop:
+    @given(tt_pair_strategy())
+    def test_isop_within_bounds(self, pair):
+        on, dc = pair
+        cov = isop(on, on | dc)
+        tt = cov.to_tt()
+        assert on.implies(tt)
+        assert tt.implies(on | dc)
+
+    @given(tt_pair_strategy())
+    def test_isop_exact_without_dc(self, pair):
+        on, _ = pair
+        assert isop(on).to_tt() == on
+
+    def test_isop_rejects_bad_bounds(self):
+        on = TruthTable.var(0, 2)
+        with pytest.raises(ValueError):
+            isop(on, ~on)
+
+    @given(tt_pair_strategy(4))
+    def test_isop_irredundant(self, pair):
+        on, dc = pair
+        cov = isop(on, on | dc)
+        # Every cube must cover at least one on-set minterm not covered by
+        # the other cubes (irredundancy).
+        for i in range(len(cov)):
+            rest = TruthTable.const(False, on.nvars)
+            for j, c in enumerate(cov.cubes):
+                if j != i:
+                    rest |= c.to_tt()
+            unique = cov.cubes[i].to_tt() & on & ~rest
+            assert not unique.is_const0
+
+
+class TestQuineMcCluskey:
+    def test_primes_of_majority(self):
+        maj = TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+        primes = {p.to_string() for p in prime_implicants(maj)}
+        assert primes == {"-11", "1-1", "11-"}
+
+    @given(tt_pair_strategy(4))
+    def test_primes_are_implicants_and_maximal(self, pair):
+        on, dc = pair
+        if on.is_const0:
+            return
+        upper = on | dc
+        for p in prime_implicants(on, dc):
+            assert p.to_tt().implies(upper)
+            # Maximality: dropping any literal escapes the upper bound.
+            for var, _pol in p.literals():
+                assert not p.without(var).to_tt().implies(upper)
+
+    @given(tt_pair_strategy(4))
+    def test_minimize_exact_correct(self, pair):
+        on, dc = pair
+        cov = minimize_exact(on, dc)
+        tt = cov.to_tt()
+        assert on.implies(tt)
+        assert tt.implies(on | dc)
+
+    def test_known_minimum(self):
+        # f = a'b' + ab needs exactly 2 cubes.
+        f = TruthTable.from_function(lambda a, b: a == b, 2)
+        assert len(minimize_exact(f)) == 2
+
+
+class TestEspresso:
+    @given(tt_pair_strategy())
+    @settings(deadline=None)
+    def test_espresso_correct(self, pair):
+        on, dc = pair
+        cov = espresso(on, dc)
+        tt = cov.to_tt()
+        assert on.implies(tt)
+        assert tt.implies(on | dc)
+
+    @given(tt_pair_strategy())
+    @settings(deadline=None)
+    def test_min_sop_correct(self, pair):
+        on, dc = pair
+        cov = min_sop(on, dc)
+        tt = cov.to_tt()
+        assert on.implies(tt)
+        assert tt.implies(on | dc)
+
+    def test_min_sop_never_worse_than_isop(self):
+        # Classic espresso win: xor-adjacent clusters.
+        f = TruthTable(0b0111_1110, 3)
+        assert len(min_sop(f)) <= len(isop(f))
+
+    def test_supercube(self):
+        t = TruthTable.from_minterms([0b101, 0b111], 3)
+        sc = _supercube(t)
+        assert sc.to_string() == "1-1"
+
+    def test_dc_enables_smaller_cover(self):
+        on = TruthTable.from_minterms([0b00], 2)
+        dc = TruthTable.from_minterms([0b01, 0b10, 0b11], 2)
+        assert len(min_sop(on, dc)) == 1
+        assert min_sop(on, dc).cubes[0].num_literals() == 0

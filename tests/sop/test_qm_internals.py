@@ -1,0 +1,81 @@
+"""Focused tests for Quine-McCluskey internals and the covering search."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import minimize_exact, prime_implicants
+from repro.sop.qm import _CoverSearch, _greedy_cover
+from repro.tt import TruthTable
+
+
+class TestCoverSearch:
+    def test_finds_optimal_cover(self):
+        # Universe {0..3}; rows: {0,1}, {2,3}, {1,2}, {0}, {3}.
+        rows = [0b0011, 0b1100, 0b0110, 0b0001, 0b1000]
+        costs = [1, 1, 1, 1, 1]
+        chosen = _CoverSearch(rows, costs).solve(0b1111)
+        assert chosen is not None
+        assert len(chosen) == 2
+        covered = 0
+        for i in chosen:
+            covered |= rows[i]
+        assert covered == 0b1111
+
+    def test_respects_costs(self):
+        # One big expensive row vs two cheap rows.
+        rows = [0b111, 0b011, 0b100]
+        costs = [10, 1, 1]
+        chosen = _CoverSearch(rows, costs).solve(0b111)
+        assert sorted(chosen) == [1, 2]
+
+    def test_greedy_cover_is_valid(self):
+        rows = [0b0101, 0b1010, 0b0011]
+        chosen = _greedy_cover(rows, [1, 1, 1], 0b1111)
+        covered = 0
+        for i in chosen:
+            covered |= rows[i]
+        assert covered == 0b1111
+
+
+class TestPrimesAgainstKnownFunctions:
+    def test_xor_primes_are_minterms(self):
+        xor = TruthTable.from_function(lambda a, b: a != b, 2)
+        primes = prime_implicants(xor)
+        assert all(p.num_literals() == 2 for p in primes)
+        assert len(primes) == 2
+
+    def test_tautology_prime_is_full_cube(self):
+        t = TruthTable.const(True, 3)
+        primes = prime_implicants(t)
+        assert len(primes) == 1
+        assert primes[0].num_literals() == 0
+
+    def test_dc_expands_primes(self):
+        # on = minterm 0; dc = everything else except minterm 3: the prime
+        # grows beyond the bare minterm.
+        on = TruthTable.from_minterms([0], 2)
+        dc = TruthTable.from_minterms([1, 2], 2)
+        primes = prime_implicants(on, dc)
+        best = min(p.num_literals() for p in primes)
+        assert best == 1
+
+
+class TestMinimizeExactQuality:
+    @given(st.integers(1, (1 << 16) - 2))
+    @settings(deadline=None, max_examples=30)
+    def test_cube_count_is_minimal_vs_bruteforce_bound(self, bits):
+        # Sanity: the exact minimizer never uses more cubes than there are
+        # on-set minterms, and at least ceil(onset / largest-prime-size).
+        t = TruthTable(bits, 4)
+        cover = minimize_exact(t)
+        assert len(cover) <= t.count_ones()
+        largest = max(c.size() for c in cover)
+        assert len(cover) >= (t.count_ones() + largest - 1) // largest
+
+    def test_classic_example(self):
+        # f = Σm(0,1,2,5,6,7) over 3 vars: minimal SOP has 3 cubes... the
+        # cyclic core example: minimum is 3 cubes.
+        t = TruthTable.from_minterms([0, 1, 2, 5, 6, 7], 3)
+        cover = minimize_exact(t)
+        assert cover.to_tt() == t
+        assert len(cover) == 3

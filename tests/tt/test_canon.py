@@ -1,0 +1,53 @@
+"""Tests for P- and NPN-canonical forms."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tt import TruthTable, npn_canonical, p_canonical
+
+
+def tt_strategy(max_vars=4):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.integers(0, (1 << (1 << n)) - 1), st.just(n)
+        )
+    )
+
+
+@given(tt_strategy())
+def test_p_canonical_transform_matches(t):
+    bits, perm = p_canonical(t)
+    assert t.permute(perm).bits == bits
+
+
+@given(tt_strategy(3), st.permutations([0, 1, 2]))
+def test_p_canonical_invariant_under_permutation(t, perm):
+    if t.nvars != 3:
+        return
+    permuted = t.permute(list(perm))
+    assert p_canonical(t)[0] == p_canonical(permuted)[0]
+
+
+@given(tt_strategy(3))
+def test_npn_transform_matches(t):
+    bits, tf = npn_canonical(t)
+    assert tf.apply(t).bits == bits
+
+
+@given(tt_strategy(3), st.integers(0, 7), st.booleans())
+def test_npn_invariant_under_input_flips_and_output(t, flips, out_neg):
+    variant = t
+    for i in range(t.nvars):
+        if (flips >> i) & 1:
+            variant = variant.flip(i)
+    if out_neg:
+        variant = ~variant
+    assert npn_canonical(t)[0] == npn_canonical(variant)[0]
+
+
+def test_known_npn_classes_count():
+    # All 2-variable functions fall into exactly 4 NPN classes.
+    classes = {
+        npn_canonical(TruthTable(bits, 2))[0] for bits in range(16)
+    }
+    assert len(classes) == 4

@@ -1,0 +1,58 @@
+"""Property tests for truth-table composition (the global-function core)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt import TruthTable
+
+
+def tt_strategy(nvars):
+    return st.builds(
+        TruthTable, st.integers(0, (1 << (1 << nvars)) - 1), st.just(nvars)
+    )
+
+
+class TestComposeAlgebra:
+    @given(tt_strategy(3), tt_strategy(4), tt_strategy(4), tt_strategy(4))
+    @settings(deadline=None, max_examples=30)
+    def test_pointwise_semantics(self, f, g0, g1, g2):
+        composed = f.compose([g0, g1, g2])
+        for m in range(1 << 4):
+            inner = [g0.value(m), g1.value(m), g2.value(m)]
+            assert composed.value(m) == f.evaluate(inner)
+
+    @given(tt_strategy(2), tt_strategy(3), tt_strategy(3))
+    @settings(deadline=None, max_examples=30)
+    def test_complement_distributes(self, f, g0, g1):
+        assert (~f).compose([g0, g1]) == ~(f.compose([g0, g1]))
+
+    @given(tt_strategy(2), tt_strategy(2), tt_strategy(3), tt_strategy(3))
+    @settings(deadline=None, max_examples=30)
+    def test_and_distributes(self, f1, f2, g0, g1):
+        lhs = (f1 & f2).compose([g0, g1])
+        rhs = f1.compose([g0, g1]) & f2.compose([g0, g1])
+        assert lhs == rhs
+
+    @given(tt_strategy(3))
+    @settings(deadline=None, max_examples=20)
+    def test_identity_composition(self, f):
+        identity = [TruthTable.var(i, 3) for i in range(3)]
+        assert f.compose(identity) == f
+
+    @given(tt_strategy(2), tt_strategy(3), tt_strategy(3))
+    @settings(deadline=None, max_examples=20)
+    def test_constant_absorbs(self, f, g0, g1):
+        if f.is_const0:
+            assert f.compose([g0, g1]).is_const0
+        if f.is_const1:
+            assert f.compose([g0, g1]).is_const1
+
+    @given(tt_strategy(2), tt_strategy(2), tt_strategy(4), tt_strategy(4))
+    @settings(deadline=None, max_examples=20)
+    def test_nested_composition_associates(self, f, g, h0, h1):
+        # Composing step-by-step equals composing the composed functions:
+        # f(g(h0,h1), h0) built either way must agree.
+        mid = f.compose([g, TruthTable.var(0, 2)])
+        lhs = mid.compose([h0, h1])
+        rhs = f.compose([g.compose([h0, h1]), h0])
+        assert lhs == rhs
