@@ -1,10 +1,10 @@
-"""Cone, fanout, and transitive-fanout utilities on AIGs."""
+"""Cone, fanout, transitive-fanout, and structural-hash utilities on AIGs."""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Set
 
-from .aig import AIG, lit_var
+from .aig import AIG, lit_neg, lit_var
 
 
 def fanin_cone_vars(aig: AIG, lits: Iterable[int]) -> Set[int]:
@@ -64,6 +64,69 @@ def tfo_vars(aig: AIG, roots: Iterable[int]) -> Set[int]:
         seen.add(var)
         stack.extend(fanouts[var])
     return seen
+
+
+_MASK64 = (1 << 64) - 1
+_PI_SEED = 0x9E3779B97F4A7C15
+_AND_SEED = 0xC2B2AE3D27D4EB4F
+
+
+def _mix(a: int, b: int) -> int:
+    """Deterministic 64-bit hash combine (splitmix64-style finalizer)."""
+    h = (a * 0xFF51AFD7ED558CCD + b * 0xC4CEB9FE1A85EC53 + 1) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 29
+    return h
+
+
+def cone_fingerprint(aig: AIG, lits: Iterable[int]) -> int:
+    """Canonical 64-bit structural hash of the fan-in cones of ``lits``.
+
+    Two cones hash equal iff they compute the same literal structure over
+    the same PIs (identified by PI *position*, so the hash survives the
+    renumbering done by ``AIG.extract``).  Complement edges participate,
+    and the order of ``lits`` matters — ``(fp of [a, b]) != (fp of [b, a])``
+    in general.  Deterministic across processes and runs (no ``hash()``).
+    """
+    pi_pos = {var: i for i, var in enumerate(aig.pis)}
+    memo: Dict[int, int] = {0: _mix(_AND_SEED, 0)}
+
+    def var_hash(root: int) -> int:
+        stack = [root]
+        while stack:
+            var = stack[-1]
+            if var in memo:
+                stack.pop()
+                continue
+            if aig.is_pi(var):
+                memo[var] = _mix(_PI_SEED, pi_pos[var])
+                stack.pop()
+                continue
+            f0, f1 = aig.fanins(var)
+            pending = [
+                v for v in (lit_var(f0), lit_var(f1)) if v not in memo
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            h0 = _mix(memo[lit_var(f0)], int(lit_neg(f0)))
+            h1 = _mix(memo[lit_var(f1)], int(lit_neg(f1)))
+            if h0 > h1:
+                h0, h1 = h1, h0
+            memo[var] = _mix(_mix(_AND_SEED, h0), h1)
+        return memo[root]
+
+    fp = _mix(_PI_SEED, aig.num_pis)
+    for lit in lits:
+        fp = _mix(fp, _mix(var_hash(lit_var(lit)), int(lit_neg(lit))))
+    return fp
+
+
+def aig_fingerprint(aig: AIG) -> int:
+    """Structural hash of a whole AIG: all PO cones in PO order."""
+    return cone_fingerprint(aig, aig.pos)
 
 
 def mffc_vars(aig: AIG, root: int) -> Set[int]:

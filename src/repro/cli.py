@@ -14,10 +14,12 @@ or gate-level Verilog (by extension).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
 
+from . import perf
 from .aig import AIG, depth, read_aag, read_blif, write_aag, write_blif
 from .cec import check_equivalence
 from .core import LookaheadOptimizer, lookahead_flow
@@ -59,11 +61,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
+    if args.workers is not None:
+        os.environ[perf.WORKERS_ENV] = str(args.workers)
     aig = _read_circuit(args.input)
     flow = FLOWS[args.flow]
+    perf.reset()
     start = time.time()
     optimized = flow(aig)
     elapsed = time.time() - start
+    if args.profile:
+        print(perf.report(), file=sys.stderr)
     if not args.no_verify:
         if not check_equivalence(aig, optimized):
             print("ERROR: optimized circuit is not equivalent", file=sys.stderr)
@@ -131,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--no-verify", action="store_true",
         help="skip the post-optimization equivalence check",
+    )
+    p_opt.add_argument(
+        "--profile", action="store_true",
+        help="print perf telemetry (rounds, cache hit rates, worker "
+             "utilization, per-phase wall time) after the run",
+    )
+    p_opt.add_argument(
+        "--workers", type=int, metavar="N",
+        help=f"worker processes for parallel lookahead rounds "
+             f"(overrides ${perf.WORKERS_ENV}; 1 = serial)",
     )
     p_opt.set_defaults(func=cmd_optimize)
 

@@ -10,6 +10,7 @@ from .spcf import (
     timed_simulation,
     unpack_patterns,
 )
+from .cache import ConeCache, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
 from .simplify import SimplifyOutcome, simplify_node
 from .reduce import PrimaryResult, build_sigma, primary_reduce
@@ -34,6 +35,8 @@ __all__ = [
     "spcf_signature",
     "timed_simulation",
     "unpack_patterns",
+    "ConeCache",
+    "node_tts_cached",
     "BddBlowup",
     "BddModel",
     "ExactModel",

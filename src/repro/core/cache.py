@@ -1,0 +1,134 @@
+"""Cross-round cone cache keyed by structural fingerprints.
+
+Every per-output computation in a lookahead round — the SPCF, the global
+node truth tables feeding it, and the reduce/simplify/reconstruct verdict —
+is a pure function of the output's fan-in cone plus a handful of optimizer
+parameters.  Rounds and `lookahead_flow` iterations revisit mostly-unchanged
+circuits, so identical cones recur constantly.  :class:`ConeCache` memoizes
+three things across rounds (and across ``optimize()`` calls on the same
+optimizer):
+
+* **SPCF payloads** per ``(cone fingerprint, mode, kind, sim params)`` —
+  the chosen Δ's truth table or signature, serialized to plain ints so the
+  entry is process-independent;
+* **node truth tables** per cone fingerprint (tt mode), shared by the
+  Δ-relaxation loop and later rounds;
+* **rejected-cone fingerprints**: cones whose decomposition produced no
+  accepted replacement under a given configuration are skipped outright in
+  later rounds.
+
+Invalidation is automatic: any structural change to a cone changes its
+fingerprint (see ``aig.cone_fingerprint``), so stale entries are simply
+never looked up again; a bounded FIFO eviction keeps memory flat.  Hit and
+miss counts are reported through :mod:`repro.perf` under ``cache.*``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import perf
+from ..aig import AIG, cone_fingerprint, node_tts
+from ..tt import TruthTable
+
+SpcfPayload = Tuple
+"""Serialized SPCF: ``('tt', bits, nvars)`` or ``('sim', signature)``."""
+
+
+class ConeCache:
+    """Bounded memo of per-cone lookahead results across rounds."""
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._spcf: Dict[Tuple, SpcfPayload] = {}
+        self._tts: Dict[int, List[TruthTable]] = {}
+        self._rejected: Set[Tuple] = set()
+
+    # -- SPCF payloads -----------------------------------------------------
+
+    def get_spcf(self, key: Tuple) -> Optional[SpcfPayload]:
+        payload = self._spcf.get(key)
+        perf.incr("cache.spcf.hit" if payload is not None else "cache.spcf.miss")
+        return payload
+
+    def put_spcf(self, key: Tuple, payload: SpcfPayload) -> None:
+        self._evict(self._spcf)
+        self._spcf[key] = payload
+
+    # -- node truth tables -------------------------------------------------
+
+    def get_node_tts(self, fp: int) -> Optional[List[TruthTable]]:
+        tts = self._tts.get(fp)
+        perf.incr("cache.tts.hit" if tts is not None else "cache.tts.miss")
+        return tts
+
+    def put_node_tts(self, fp: int, tts: List[TruthTable]) -> None:
+        self._evict(self._tts)
+        self._tts[fp] = tts
+
+    # -- rejected cones ----------------------------------------------------
+
+    def is_rejected(self, key: Tuple) -> bool:
+        hit = key in self._rejected
+        if hit:
+            perf.incr("cache.rejected.hit")
+        return hit
+
+    def mark_rejected(self, key: Tuple) -> None:
+        if len(self._rejected) >= self.max_entries:
+            self._rejected.clear()
+        self._rejected.add(key)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _evict(self, table: Dict) -> None:
+        """Drop the oldest entry when full (dicts preserve insert order)."""
+        while len(table) >= self.max_entries:
+            table.pop(next(iter(table)))
+            perf.incr("cache.evictions")
+
+    def clear(self) -> None:
+        self._spcf.clear()
+        self._tts.clear()
+        self._rejected.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "spcf_entries": len(self._spcf),
+            "tts_entries": len(self._tts),
+            "rejected_entries": len(self._rejected),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ConeCache(spcf={s['spcf_entries']}, tts={s['tts_entries']}, "
+            f"rejected={s['rejected_entries']})"
+        )
+
+
+# -- worker-side node-tts memo -----------------------------------------------
+
+_LOCAL_TTS: Dict[int, List[TruthTable]] = {}
+_LOCAL_TTS_LIMIT = 256
+
+
+def node_tts_cached(aig: AIG, fp: Optional[int] = None) -> List[TruthTable]:
+    """Process-local memoized ``node_tts`` keyed by cone fingerprint.
+
+    Used inside worker processes (which cannot see the parent's
+    :class:`ConeCache`) so the Δ-relaxation loop and repeated tasks on the
+    same cone tabulate the cone once per process.
+    """
+    if fp is None:
+        fp = cone_fingerprint(aig, aig.pos)
+    tts = _LOCAL_TTS.get(fp)
+    if tts is None:
+        perf.incr("cache.tts.miss")
+        tts = node_tts(aig)
+        if len(_LOCAL_TTS) >= _LOCAL_TTS_LIMIT:
+            _LOCAL_TTS.pop(next(iter(_LOCAL_TTS)))
+        _LOCAL_TTS[fp] = tts
+    else:
+        perf.incr("cache.tts.hit")
+    return tts

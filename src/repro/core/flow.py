@@ -36,16 +36,31 @@ def lookahead_flow(
     alone, and the decomposition gets a first shot at the raw circuit,
     where long sensitizable chains are still visible.
     """
+    from .. import perf
     from ..opt import dc_map_effort_high
 
     opt = optimizer or LookaheadOptimizer(
         max_rounds=16, max_outputs_per_round=8
     )
     current = aig.extract()
+    # The conventional candidate is recomputed only when `current` actually
+    # changed under it.  When the conventional flow itself wins an
+    # iteration, its output doubles as the next iteration's conventional
+    # candidate: dc_map_effort_high keeps its input among its internal
+    # candidates, so rerunning it on its own output cannot do better than
+    # what the quality-gate below would accept anyway.
+    conventional = None
     for _ in range(max_iterations):
-        candidates = [dc_map_effort_high(current), opt.optimize(current)]
+        perf.incr("flow.iterations")
+        if conventional is None:
+            with perf.timer("phase.conventional"):
+                conventional = dc_map_effort_high(current)
+        else:
+            perf.incr("flow.conventional.reused")
+        candidates = [conventional, opt.optimize(current)]
         candidate = min(candidates, key=_quality)
         if _quality(candidate) >= _quality(current):
             break
+        conventional = candidate if candidate is conventional else None
         current = candidate
     return current

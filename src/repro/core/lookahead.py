@@ -15,21 +15,44 @@ Each round performs one level of the timing-driven decomposition of Eqn. 2:
 
 Rounds repeat while the AIG depth improves, which realizes the iterated
 window sequence Σ1, Σ2, ..., Σl of the carry-lookahead analogy.
+
+Steps 2–4 are *per-output cone computations*: each critical output is
+processed on a standalone copy of its fan-in cone, with no shared mutable
+state.  The round therefore fans the per-output pipeline out over a
+``ProcessPoolExecutor`` (``workers`` / ``REPRO_WORKERS``; see
+:mod:`repro.perf`): each worker receives one extracted cone, returns the
+serialized replacement networks, and the main process applies accepted
+replacements in fixed output order — so the result is bit-identical to the
+serial path.  A cross-round :class:`~repro.core.cache.ConeCache` memoizes
+SPCFs and rejected-cone fingerprints by structural hash, skipping cones
+that did not change between rounds (or between ``optimize()`` calls).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..aig import AIG, CONST0, depth, levels, lit_not, lit_var, random_patterns
+from .. import perf
+from ..aig import (
+    AIG,
+    CONST0,
+    cone_fingerprint,
+    depth,
+    levels,
+    lit_not,
+    lit_var,
+    random_patterns,
+)
 from ..netlist import (
     ArrivalAwareBuilder,
     Network,
-    compute_levels,
     renode,
     synthesize_into,
 )
 from .area_recovery import sat_sweep
+from .cache import ConeCache, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
 from .reconstruct import reconstruct
 from .reduce import primary_reduce
@@ -51,6 +74,166 @@ BDD_MODE_PI_LIMIT = 26
 """BDD-domain exact functions are attempted up to this many PIs."""
 
 
+# -- per-output cone pipeline (runs in worker processes) ---------------------
+#
+# A cone task is a plain picklable tuple:
+#
+#   (po_index, cone_aig | None, cone_net, mode, spcf_kind, sim_width, seed,
+#    walk_mode, spcf_payload | None)
+#
+# ``cone_aig`` is the output's critical cone extracted over the full PI
+# space (``AIG.extract``), needed only when the SPCF is not already cached;
+# ``cone_net`` is the renoded cone (``Network.extract_po_cone``).  The
+# result is (po_index, ok, pos_net, sigma_nid, neg_net, spcf_payload,
+# phase_seconds) — everything a worker touches is a private copy, so the
+# pipeline is deterministic regardless of scheduling.
+
+
+def _serialize_spcf(spcf: Spcf) -> Optional[Tuple]:
+    """SPCF -> process-independent payload (tt/sim modes only)."""
+    if spcf.mode == "tt":
+        return ("tt", spcf.tt.bits, spcf.tt.nvars)
+    if spcf.mode == "sim":
+        return ("sim", spcf.signature)
+    return None  # BDD refs are manager-bound; never cached or shipped
+
+
+def _deserialize_spcf(payload: Tuple) -> Spcf:
+    if payload[0] == "tt":
+        from ..tt import TruthTable
+
+        return Spcf("tt", tt=TruthTable(payload[1], payload[2]))
+    return Spcf("sim", signature=payload[1])
+
+
+def _cone_spcf(
+    cone_aig: AIG, mode: str, spcf_kind: str, sim_width: int, seed: int
+) -> Optional[Spcf]:
+    """SPCF of a single-PO critical cone (PO index 0).
+
+    Identical to the whole-circuit computation: the cone keeps the full PI
+    space and the PO's fan-in logic, and the SPCF of an output depends on
+    nothing else.  Starts at the full output depth and relaxes Δ: longest
+    paths may be statically unsensitizable, and a near-empty SPCF makes a
+    useless weight metric — the paper's Δ is a free threshold.
+    """
+    lvl = levels(cone_aig)
+    po_depth = lvl[lit_var(cone_aig.pos[0])]
+    if po_depth == 0:
+        return None
+    min_count = 1 if mode == "tt" else max(8, sim_width // 128)
+    min_delta = max(1, po_depth // 2)
+    tts = node_tts_cached(cone_aig) if mode == "tt" else None
+    timed = None
+    if mode == "sim":
+        pi_words = random_patterns(cone_aig.num_pis, sim_width, seed)
+        timed = timed_simulation(
+            cone_aig, unpack_patterns(pi_words, sim_width)
+        )
+    fallback = None
+    for delta in range(po_depth, min_delta - 1, -1):
+        if mode == "tt":
+            if spcf_kind == "overapprox":
+                tt = spcf_overapprox_tt(cone_aig, 0, delta, tts=tts)
+            else:
+                tt = spcf_exact_tt(cone_aig, 0, delta, tts=tts)
+            spcf = Spcf("tt", tt=tt)
+        else:
+            sig = spcf_signature(cone_aig, 0, delta, None, timed=timed)
+            spcf = Spcf("sim", signature=sig)
+        if spcf.count >= min_count:
+            return spcf
+        if fallback is None and not spcf.is_empty():
+            fallback = spcf
+    return fallback
+
+
+def _process_cone(
+    cone_net: Network,
+    spcf: Spcf,
+    mode: str,
+    sim_width: int,
+    seed: int,
+    walk_mode: str,
+    phases: Dict[str, float],
+) -> Optional[Tuple[Network, int, Network]]:
+    """Primary reduce + secondary simplify on a standalone cone network."""
+    pos_net = cone_net
+    neg_net = cone_net.clone()
+    pi_words: List[int] = []
+    if mode == "sim":
+        pi_words = random_patterns(len(pos_net.pis), sim_width, seed)
+        model = SignatureModel(pos_net, pi_words, sim_width)
+    else:
+        model = ExactModel(pos_net)
+    spcf_fn = model.spcf_fn(spcf)
+    t0 = time.perf_counter()
+    primary = primary_reduce(pos_net, 0, model, spcf_fn, walk_mode=walk_mode)
+    phases["reduce"] = phases.get("reduce", 0.0) + time.perf_counter() - t0
+    if not primary.success or primary.sigma_nid is None:
+        return None
+    model.recompute()  # include the freshly added window/Σ nodes
+    sigma_fn = model.fn(primary.sigma_nid)
+    care_fn = model.complement(sigma_fn)
+    if mode == "sim":
+        checker = SatCareChecker(
+            SignatureModel(neg_net, pi_words, sim_width),
+            care_fn,
+            pos_net,
+            primary.sigma_nid,
+            neg_net,
+        )
+    else:
+        checker = ExactCareChecker(ExactModel(neg_net), care_fn)
+    t0 = time.perf_counter()
+    secondary_simplify(neg_net, 0, checker, max_nodes=24)
+    phases["secondary"] = (
+        phases.get("secondary", 0.0) + time.perf_counter() - t0
+    )
+    return pos_net, primary.sigma_nid, neg_net
+
+
+def _run_cone_task(task: Tuple) -> Tuple:
+    """Run the full per-output pipeline on one extracted cone.
+
+    Top-level so ``ProcessPoolExecutor`` can pickle it by reference; also
+    called in-process on the serial (workers=1) path, which makes the two
+    paths identical by construction.
+    """
+    (
+        po_index,
+        cone_aig,
+        cone_net,
+        mode,
+        spcf_kind,
+        sim_width,
+        seed,
+        walk_mode,
+        payload,
+    ) = task
+    start = time.perf_counter()
+    phases: Dict[str, float] = {}
+    if payload is None:
+        t0 = time.perf_counter()
+        spcf = _cone_spcf(cone_aig, mode, spcf_kind, sim_width, seed)
+        phases["spcf"] = time.perf_counter() - t0
+        if spcf is not None and not spcf.is_empty():
+            payload = _serialize_spcf(spcf)
+    else:
+        spcf = _deserialize_spcf(payload)
+    if spcf is None or spcf.is_empty():
+        phases["total"] = time.perf_counter() - start
+        return (po_index, False, None, None, None, None, phases)
+    result = _process_cone(
+        cone_net, spcf, mode, sim_width, seed, walk_mode, phases
+    )
+    phases["total"] = time.perf_counter() - start
+    if result is None:
+        return (po_index, False, None, None, None, payload, phases)
+    pos_net, sigma_nid, neg_net = result
+    return (po_index, True, pos_net, sigma_nid, neg_net, payload, phases)
+
+
 class LookaheadOptimizer:
     """Timing-driven optimizer producing lookahead logic circuits."""
 
@@ -67,6 +250,8 @@ class LookaheadOptimizer:
         verify: bool = False,
         area_recovery: bool = True,
         walk_modes: Tuple[str, ...] = ("target", "full"),
+        workers: Optional[int] = None,
+        cache: Optional[ConeCache] = None,
     ):
         """Configure the optimizer.
 
@@ -74,6 +259,11 @@ class LookaheadOptimizer:
         'auto' (by PI count).  ``spcf_kind``: 'exact' or 'overapprox'
         (truth-table modes only; simulation mode always estimates).
         ``verify``: equivalence-check every accepted round (slow; tests).
+        ``workers``: worker processes for the per-output fan-out; ``None``
+        defers to ``REPRO_WORKERS`` / ``os.cpu_count()`` and ``1`` forces
+        the serial path (see :func:`repro.perf.get_workers`).  ``cache``:
+        a :class:`ConeCache` to share across optimizers; by default each
+        optimizer owns one, which persists across its ``optimize()`` calls.
         """
         self.max_rounds = max_rounds
         self.k = k
@@ -86,6 +276,10 @@ class LookaheadOptimizer:
         self.verify = verify
         self.area_recovery = area_recovery
         self.walk_modes = walk_modes
+        self.workers = workers
+        self.cache = cache if cache is not None else ConeCache()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -104,10 +298,14 @@ class LookaheadOptimizer:
         per-round mixing of strategies traps the search in local optima);
         the best final result wins.
         """
-        results = [
-            self._optimize_with(aig, walk_mode)
-            for walk_mode in self.walk_modes
-        ]
+        try:
+            with perf.timer("optimize"):
+                results = [
+                    self._optimize_with(aig, walk_mode)
+                    for walk_mode in self.walk_modes
+                ]
+        finally:
+            self._shutdown_executor()
         return min(results, key=self._quality)
 
     def _optimize_with(self, aig: AIG, walk_mode: str) -> AIG:
@@ -125,6 +323,21 @@ class LookaheadOptimizer:
             current = candidate
         return current
 
+    # -- worker pool ------------------------------------------------------------
+
+    def _ensure_executor(self, nworkers: int) -> ProcessPoolExecutor:
+        if self._executor is None or self._executor_workers != nworkers:
+            self._shutdown_executor()
+            self._executor = ProcessPoolExecutor(max_workers=nworkers)
+            self._executor_workers = nworkers
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_workers = 0
+
     # -- one decomposition level ---------------------------------------------------
 
     def _resolve_mode(self, aig: AIG) -> str:
@@ -141,7 +354,9 @@ class LookaheadOptimizer:
         if d <= 1:
             return None
         mode = self._resolve_mode(aig)
-        net = renode(aig, self.k)
+        perf.incr("rounds")
+        with perf.timer("phase.renode"):
+            net = renode(aig, self.k)
         aig_levels = levels(aig)
         # Criticality is judged on the decomposed circuit (the AIG), where
         # the SPCF and the paper's quality metric live.
@@ -153,9 +368,164 @@ class LookaheadOptimizer:
         if self.max_outputs_per_round is not None:
             critical = critical[: self.max_outputs_per_round]
 
+        if mode == "bdd":
+            # BDD refs live inside one shared (unpicklable) manager, so the
+            # BDD round stays in-process; cones that blow up fall back to
+            # the signature domain per output, as before.
+            processed = self._bdd_round(aig, net, critical, aig_levels,
+                                        walk_mode)
+            reject_keys: Dict[int, Tuple] = {}
+        else:
+            processed, reject_keys = self._cone_round(
+                aig, net, critical, aig_levels, mode, walk_mode
+            )
+        if not processed:
+            return None
+        with perf.timer("phase.rebuild"):
+            rebuilt, accepted = self._rebuild(aig, processed)
+        for po_index, key in reject_keys.items():
+            if po_index in accepted:
+                perf.incr("replacements.accepted")
+            else:
+                perf.incr("replacements.rejected")
+                self.cache.mark_rejected(key)
+        if self.area_recovery:
+            with perf.timer("phase.sweep"):
+                rebuilt = sat_sweep(rebuilt, seed=self.seed)
+        return rebuilt
+
+    def _cone_round(
+        self,
+        aig: AIG,
+        net: Network,
+        critical: List[int],
+        aig_levels: List[int],
+        mode: str,
+        walk_mode: str,
+    ) -> Tuple[List[Tuple[int, Network, int, Network]], Dict[int, Tuple]]:
+        """Fan the per-output pipeline out over extracted cones (tt/sim).
+
+        Builds one self-contained task per critical output, runs them in
+        worker processes (or in-process when workers=1), and collects the
+        results in fixed output order.  Cones whose fingerprint was already
+        rejected under this configuration are skipped entirely; fresh SPCFs
+        are cached for later rounds and flow iterations.
+        """
+        nworkers = perf.get_workers(self.workers)
+
+        # On the serial path, sim-mode SPCFs come from one shared timed
+        # simulation of the whole circuit (cone-local simulation yields
+        # bit-identical arrivals, but would redo the work per output —
+        # that duplication only pays off when workers absorb it).
+        shared_sim: List = []
+
+        def shared_spcf(po_index: int) -> Optional[Spcf]:
+            if not shared_sim:
+                pi_words = random_patterns(
+                    aig.num_pis, self.sim_width, self.seed
+                )
+                timed = timed_simulation(
+                    aig, unpack_patterns(pi_words, self.sim_width)
+                )
+                shared_sim.append((pi_words, timed))
+            pi_words, timed = shared_sim[0]
+            return self._compute_spcf(
+                aig, po_index, aig_levels, "sim", timed, pi_words
+            )
+
+        tasks: List[Tuple] = []
+        spcf_keys: Dict[int, Tuple] = {}
+        reject_keys: Dict[int, Tuple] = {}
+        cached_payload: Set[int] = set()
+        with perf.timer("phase.dispatch"):
+            for po_index in critical:
+                po_lit = aig.pos[po_index]
+                fp = cone_fingerprint(aig, [po_lit])
+                spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
+                            self.seed)
+                cfg_key = spcf_key + (walk_mode, self.k, self.use_rules)
+                if self.cache.is_rejected(cfg_key) or self.cache.is_rejected(
+                    spcf_key
+                ):
+                    continue
+                payload = self.cache.get_spcf(spcf_key)
+                cone_aig = None
+                if payload is not None:
+                    cached_payload.add(po_index)
+                elif mode == "sim" and nworkers == 1:
+                    with perf.timer("phase.spcf"):
+                        spcf = shared_spcf(po_index)
+                    if spcf is None or spcf.is_empty():
+                        self.cache.mark_rejected(spcf_key)
+                        continue
+                    payload = _serialize_spcf(spcf)
+                else:
+                    cone_aig = aig.extract([po_lit])
+                cone_net = net.extract_po_cone(po_index)
+                spcf_keys[po_index] = spcf_key
+                reject_keys[po_index] = cfg_key
+                tasks.append(
+                    (
+                        po_index,
+                        cone_aig,
+                        cone_net,
+                        mode,
+                        self.spcf_kind,
+                        self.sim_width,
+                        self.seed,
+                        walk_mode,
+                        payload,
+                    )
+                )
+
+        start = time.perf_counter()
+        if nworkers > 1 and len(tasks) > 1:
+            executor = self._ensure_executor(nworkers)
+            results = list(executor.map(_run_cone_task, tasks))
+            perf.incr("rounds.parallel")
+        else:
+            results = [_run_cone_task(task) for task in tasks]
+            perf.incr("rounds.serial")
+        elapsed = time.perf_counter() - start
+        perf.add_time(
+            "workers.capacity", elapsed * min(nworkers, max(1, len(tasks)))
+        )
+
+        processed: List[Tuple[int, Network, int, Network]] = []
+        for po_index, ok, pos_net, sigma_nid, neg_net, payload, phases in (
+            results
+        ):
+            for name, seconds in phases.items():
+                target = "workers.busy" if name == "total" else f"phase.{name}"
+                perf.add_time(target, seconds)
+            if payload is not None and po_index not in cached_payload:
+                self.cache.put_spcf(spcf_keys[po_index], payload)
+            if not ok:
+                if payload is None:
+                    # No sensitizable critical path: walk-independent, so
+                    # reject the SPCF key itself.
+                    self.cache.mark_rejected(spcf_keys[po_index])
+                else:
+                    self.cache.mark_rejected(reject_keys[po_index])
+                del reject_keys[po_index]
+                continue
+            processed.append((po_index, pos_net, sigma_nid, neg_net))
+        return processed, reject_keys
+
+    def _bdd_round(
+        self,
+        aig: AIG,
+        net: Network,
+        critical: List[int],
+        aig_levels: List[int],
+        walk_mode: str,
+    ) -> List[Tuple[int, Network, int, Network]]:
+        """Serial per-output loop for the BDD mode (shared manager)."""
+        from ..bdd import BDD
+
+        bdd_manager = BDD()
         pi_words: List[int] = []
         timed = None
-        bdd_manager = None
 
         def ensure_sim():
             nonlocal pi_words, timed
@@ -166,21 +536,14 @@ class LookaheadOptimizer:
                 pi_bits = unpack_patterns(pi_words, self.sim_width)
                 timed = timed_simulation(aig, pi_bits)
 
-        if mode == "sim":
-            ensure_sim()
-        elif mode == "bdd":
-            from ..bdd import BDD
-
-            bdd_manager = BDD()
-
         processed: List[Tuple[int, Network, int, Network]] = []
         for po_index in critical:
-            po_mode = mode
+            po_mode = "bdd"
             spcf = self._compute_spcf(
                 aig, po_index, aig_levels, po_mode, timed, pi_words,
                 bdd_manager,
             )
-            if po_mode == "bdd" and spcf is None:
+            if spcf is None:
                 # BDD blowup: retry this output in the signature domain.
                 po_mode = "sim"
                 ensure_sim()
@@ -206,12 +569,7 @@ class LookaheadOptimizer:
                 )
             if result is not None:
                 processed.append(result)
-        if not processed:
-            return None
-        rebuilt = self._rebuild(aig, processed)
-        if self.area_recovery:
-            rebuilt = sat_sweep(rebuilt, seed=self.seed)
-        return rebuilt
+        return processed
 
     def _compute_spcf(
         self,
@@ -305,7 +663,14 @@ class LookaheadOptimizer:
         self,
         aig: AIG,
         processed: List[Tuple[int, Network, int, Network]],
-    ) -> AIG:
+    ) -> Tuple[AIG, Set[int]]:
+        """Apply replacements in fixed PO order; returns (AIG, accepted set).
+
+        Iterating ``aig.pos`` (not completion order) keeps the rebuild
+        deterministic under any worker scheduling; acceptance of each
+        reconstruction is judged cone-locally by arrival level, so it does
+        not depend on which other outputs were processed.
+        """
         dest = AIG()
         builder = ArrivalAwareBuilder(dest)
         mapping: Dict[int, int] = {0: CONST0}
@@ -316,6 +681,7 @@ class LookaheadOptimizer:
             pi_lits.append(lit)
         by_po = {po_index: entry for entry in processed for po_index in [entry[0]]}
         new_pos: List[int] = []
+        accepted: Set[int] = set()
         for i, po_lit in enumerate(aig.pos):
             entry = by_po.get(i)
             if entry is None:
@@ -338,11 +704,12 @@ class LookaheadOptimizer:
             # Keep the original cone when the reconstruction did not win.
             if builder.level(recon) < builder.level(original):
                 new_pos.append(recon)
+                accepted.add(i)
             else:
                 new_pos.append(original)
         for lit, name in zip(new_pos, aig.po_names):
             dest.add_po(lit, name)
-        return dest.extract()
+        return dest.extract(), accepted
 
 
 def optimize_lookahead(aig: AIG, **kwargs) -> AIG:

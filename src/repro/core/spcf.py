@@ -29,11 +29,21 @@ from ..tt import TruthTable
 
 
 def _sensitization_dp(
-    aig: AIG, po_lit: int, delta: int, relaxed: bool
+    aig: AIG,
+    po_lit: int,
+    delta: int,
+    relaxed: bool,
+    tts: Optional[List[TruthTable]] = None,
 ) -> TruthTable:
-    """Shared DP for the exact and over-approximate SPCF truth tables."""
+    """Shared DP for the exact and over-approximate SPCF truth tables.
+
+    ``tts`` lets callers pass precomputed node truth tables so the
+    Δ-relaxation loop (and the cross-round cone cache) tabulates the
+    circuit once instead of once per Δ.
+    """
     n = aig.num_pis
-    tts = node_tts(aig)
+    if tts is None:
+        tts = node_tts(aig)
     lvl = levels(aig)
     const0 = TruthTable.const(False, n)
     const1 = TruthTable.const(True, n)
@@ -83,14 +93,28 @@ def _sensitization_dp(
     return memo[target]
 
 
-def spcf_exact_tt(aig: AIG, po_index: int, delta: int) -> TruthTable:
+def spcf_exact_tt(
+    aig: AIG,
+    po_index: int,
+    delta: int,
+    tts: Optional[List[TruthTable]] = None,
+) -> TruthTable:
     """Exact static-sensitization SPCF of a PO as a PI-space truth table."""
-    return _sensitization_dp(aig, aig.pos[po_index], delta, relaxed=False)
+    return _sensitization_dp(
+        aig, aig.pos[po_index], delta, relaxed=False, tts=tts
+    )
 
 
-def spcf_overapprox_tt(aig: AIG, po_index: int, delta: int) -> TruthTable:
+def spcf_overapprox_tt(
+    aig: AIG,
+    po_index: int,
+    delta: int,
+    tts: Optional[List[TruthTable]] = None,
+) -> TruthTable:
     """Node-based over-approximate SPCF (superset of the exact SPCF)."""
-    return _sensitization_dp(aig, aig.pos[po_index], delta, relaxed=True)
+    return _sensitization_dp(
+        aig, aig.pos[po_index], delta, relaxed=True, tts=tts
+    )
 
 
 # -- simulation-based SPCF ------------------------------------------------------

@@ -1,0 +1,174 @@
+"""Lightweight performance telemetry and the perf-layer configuration.
+
+A process-global :class:`PerfRegistry` collects named counters and scoped
+wall-time timers from the optimizer hot paths (rounds, cache hits, worker
+utilization, per-phase timings).  The registry is cheap enough to leave on
+unconditionally: a counter bump is one dict update, a timer two
+``perf_counter`` calls.  ``repro.cli --profile`` prints the report after a
+run; tests read individual counters through :func:`counter`.
+
+This module also owns the perf-layer knobs:
+
+* ``REPRO_WORKERS`` — worker-process count for the parallel per-output
+  lookahead rounds.  Defaults to ``os.cpu_count()``; ``1`` means the
+  serial in-process path (always used as fallback on 1-CPU machines).
+
+Worker processes keep their own registry; the optimizer merges the phase
+timings a worker reports back into the parent registry, so the report
+always describes the whole computation regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class PerfRegistry:
+    """Named counters and accumulated wall-time timers (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, Tuple[float, int]] = {}  # total s, calls
+
+    # -- counters ----------------------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- timers ------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall time to timer ``name``."""
+        with self._lock:
+            total, count = self._timers.get(name, (0.0, 0))
+            self._timers[name] = (total + seconds, count + calls)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Scope whose wall time is credited to timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall time of a timer (0.0 if never used)."""
+        with self._lock:
+            return self._timers.get(name, (0.0, 0))[0]
+
+    # -- aggregate views ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all counters and timers."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict copy of the current state (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {"seconds": total, "calls": calls}
+                    for name, (total, calls) in self._timers.items()
+                },
+            }
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            self.add_time(name, entry["seconds"], entry.get("calls", 1))
+
+    def ratio(self, hits: str, misses: str) -> float:
+        """Hit rate ``hits / (hits + misses)`` of a counter pair (0.0 empty)."""
+        h, m = self.counter(hits), self.counter(misses)
+        return h / (h + m) if h + m else 0.0
+
+    def report(self) -> str:
+        """Human-readable multi-line report of every counter and timer."""
+        snap = self.snapshot()
+        lines = ["perf counters:"]
+        if not snap["counters"]:
+            lines.append("  (none)")
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name:<32s} {snap['counters'][name]:>10d}")
+        lines.append("perf timers:")
+        if not snap["timers"]:
+            lines.append("  (none)")
+        for name in sorted(snap["timers"]):
+            entry = snap["timers"][name]
+            lines.append(
+                f"  {name:<32s} {entry['seconds']:>10.3f}s"
+                f"  x{entry['calls']}"
+            )
+        for pair, label in (
+            (("cache.spcf.hit", "cache.spcf.miss"), "spcf cache hit rate"),
+            (("cache.tts.hit", "cache.tts.miss"), "tts cache hit rate"),
+        ):
+            h, m = (snap["counters"].get(k, 0) for k in pair)
+            if h + m:
+                lines.append(f"  {label:<32s} {h / (h + m):>10.1%}")
+        busy = snap["timers"].get("workers.busy", {}).get("seconds", 0.0)
+        wall = snap["timers"].get("workers.capacity", {}).get("seconds", 0.0)
+        if wall > 0:
+            lines.append(f"  {'worker utilization':<32s} {busy / wall:>10.1%}")
+        return "\n".join(lines)
+
+
+PERF = PerfRegistry()
+"""The process-global registry used by the optimizer and the CLI."""
+
+
+# Module-level conveniences bound to the global registry.
+incr = PERF.incr
+counter = PERF.counter
+add_time = PERF.add_time
+timer = PERF.timer
+seconds = PERF.seconds
+reset = PERF.reset
+snapshot = PERF.snapshot
+merge = PERF.merge
+ratio = PERF.ratio
+report = PERF.report
+
+
+# -- configuration ----------------------------------------------------------
+
+WORKERS_ENV = "REPRO_WORKERS"
+"""Environment variable selecting the parallel-round worker count."""
+
+
+def get_workers(override: Optional[int] = None) -> int:
+    """Resolve the worker-process count for parallel lookahead rounds.
+
+    Precedence: explicit ``override`` (e.g. ``LookaheadOptimizer(workers=)``)
+    > the ``REPRO_WORKERS`` environment variable > ``os.cpu_count()``.
+    The result is always >= 1; 1 selects the serial in-process path.
+    """
+    if override is not None:
+        return max(1, int(override))
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1

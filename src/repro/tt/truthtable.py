@@ -28,17 +28,29 @@ def _mask(nvars: int) -> int:
 
 
 def _var_bits(i: int, nvars: int) -> int:
-    """Table bits of the projection function ``x_i`` over ``nvars`` variables."""
+    """Table bits of the projection function ``x_i`` over ``nvars`` variables.
+
+    Built by mask doubling: starting from the minimal ``2**(i+1)``-bit
+    block (e.g. ``0b1100`` for i=1), each widening step replicates the
+    table into the upper half (``bits |= bits << 2**n``), so the
+    construction is O(nvars) big-int ops instead of one per period.  The
+    doubling resumes from the widest cached ``(i, m)`` prefix, so widening
+    an already-cached variable costs only the missing steps.
+    """
     key = (i, nvars)
     cached = _VAR_CACHE.get(key)
     if cached is not None:
         return cached
-    period = 1 << (i + 1)
+    base_n = i + 1
     half = 1 << i
-    block = ((1 << half) - 1) << half  # e.g. 0b1100 for i=1
-    bits = 0
-    for start in range(0, 1 << nvars, period):
-        bits |= block << start
+    bits = ((1 << half) - 1) << half  # e.g. 0b1100 for i=1
+    for m in range(nvars - 1, i, -1):
+        prefix = _VAR_CACHE.get((i, m))
+        if prefix is not None:
+            base_n, bits = m, prefix
+            break
+    for n in range(base_n, nvars):
+        bits |= bits << (1 << n)
     _VAR_CACHE[key] = bits
     return bits
 

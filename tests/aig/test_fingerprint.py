@@ -1,0 +1,71 @@
+"""Structural cone fingerprints."""
+
+from repro.aig import AIG, aig_fingerprint, cone_fingerprint, lit_not
+
+
+def _xor_circuit():
+    aig = AIG()
+    a, b = aig.add_pi("a"), aig.add_pi("b")
+    aig.add_po(aig.xor_(a, b), "y")
+    return aig
+
+
+class TestConeFingerprint:
+    def test_deterministic_and_structure_sensitive(self):
+        aig = _xor_circuit()
+        fp = cone_fingerprint(aig, [aig.pos[0]])
+        assert fp == cone_fingerprint(aig, [aig.pos[0]])
+
+        other = AIG()
+        a, b = other.add_pi("a"), other.add_pi("b")
+        other.add_po(other.and_(a, b), "y")
+        assert fp != cone_fingerprint(other, [other.pos[0]])
+
+    def test_survives_extract_renumbering(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        dead = aig.and_(a, c)  # dangling node shifts variable ids
+        y = aig.or_(aig.and_(a, b), c)
+        aig.add_po(y)
+        assert dead  # keep the dangling node alive in the builder
+        fp = cone_fingerprint(aig, [aig.pos[0]])
+        extracted = aig.extract()
+        assert cone_fingerprint(extracted, [extracted.pos[0]]) == fp
+
+    def test_sensitive_to_output_polarity(self):
+        aig = _xor_circuit()
+        po = aig.pos[0]
+        assert cone_fingerprint(aig, [po]) != cone_fingerprint(
+            aig, [lit_not(po)]
+        )
+
+    def test_sensitive_to_pi_identity(self):
+        aig = AIG()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.and_(a, b))
+        aig.add_po(aig.and_(a, c))
+        assert cone_fingerprint(aig, [aig.pos[0]]) != cone_fingerprint(
+            aig, [aig.pos[1]]
+        )
+
+    def test_po_order_matters_for_whole_aig(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.and_(a, b))
+        aig.add_po(aig.or_(a, b))
+        swapped = AIG()
+        a2, b2 = swapped.add_pi(), swapped.add_pi()
+        swapped.add_po(swapped.or_(a2, b2))
+        swapped.add_po(swapped.and_(a2, b2))
+        assert aig_fingerprint(aig) != aig_fingerprint(swapped)
+
+    def test_shared_logic_cones_equal_across_circuits(self):
+        # The same function over the same PI positions fingerprints
+        # equally even when built inside different circuits.
+        one = _xor_circuit()
+        two = AIG()
+        a, b = two.add_pi("p"), two.add_pi("q")
+        two.add_po(two.xor_(a, b), "z")
+        assert cone_fingerprint(one, [one.pos[0]]) == cone_fingerprint(
+            two, [two.pos[0]]
+        )

@@ -1,0 +1,99 @@
+"""Behavior of the cross-round cone cache."""
+
+from __future__ import annotations
+
+from repro import perf
+from repro.adders import ripple_carry_adder
+from repro.aig import cone_fingerprint, depth
+from repro.cec import check_equivalence
+from repro.core import ConeCache, LookaheadOptimizer
+
+
+class TestConeCacheUnit:
+    def test_spcf_roundtrip_and_counters(self):
+        cache = ConeCache()
+        key = (123, "tt", "exact", 1024, 0)
+        before_miss = perf.counter("cache.spcf.miss")
+        assert cache.get_spcf(key) is None
+        assert perf.counter("cache.spcf.miss") == before_miss + 1
+        cache.put_spcf(key, ("tt", 0b1010, 2))
+        before_hit = perf.counter("cache.spcf.hit")
+        assert cache.get_spcf(key) == ("tt", 0b1010, 2)
+        assert perf.counter("cache.spcf.hit") == before_hit + 1
+
+    def test_rejected_fingerprints(self):
+        cache = ConeCache()
+        key = (7, "sim", "exact", 512, 0, "target", 6, True)
+        assert not cache.is_rejected(key)
+        cache.mark_rejected(key)
+        before = perf.counter("cache.rejected.hit")
+        assert cache.is_rejected(key)
+        assert perf.counter("cache.rejected.hit") == before + 1
+
+    def test_bounded_eviction(self):
+        cache = ConeCache(max_entries=4)
+        for fp in range(10):
+            cache.put_spcf((fp,), ("tt", fp, 1))
+        assert cache.stats()["spcf_entries"] <= 4
+        # Oldest entries were evicted, newest survive.
+        assert cache.get_spcf((9,)) is not None
+        assert cache.get_spcf((0,)) is None
+
+    def test_clear(self):
+        cache = ConeCache()
+        cache.put_spcf((1,), ("sim", 3))
+        cache.put_node_tts(2, [])
+        cache.mark_rejected((3,))
+        cache.clear()
+        assert cache.stats() == {
+            "spcf_entries": 0,
+            "tts_entries": 0,
+            "rejected_entries": 0,
+        }
+
+
+class TestCacheAcrossOptimizeCalls:
+    def test_second_optimize_reports_cache_hits(self):
+        aig = ripple_carry_adder(4)
+        opt = LookaheadOptimizer(max_rounds=4)
+        first = opt.optimize(aig)
+        before_hits = perf.counter("cache.spcf.hit")
+        before_rejects = perf.counter("cache.rejected.hit")
+        second = opt.optimize(aig)
+        # Unchanged cones are recognized: fruitful ones hit the SPCF
+        # cache, fruitless ones are skipped through the rejected set.
+        assert perf.counter("cache.spcf.hit") > before_hits
+        assert perf.counter("cache.rejected.hit") > before_rejects
+        assert depth(second) == depth(first)
+        assert check_equivalence(aig, second)
+
+    def test_mutated_cone_misses_the_cache(self):
+        # A structural change to a cone changes its fingerprint, so the
+        # stale entry is never looked up again.
+        aig = ripple_carry_adder(3)
+        opt = LookaheadOptimizer(max_rounds=2, walk_modes=("target",))
+        opt.optimize(aig)
+
+        mutated = ripple_carry_adder(3)
+        po = mutated.pos[-1]
+        a, b = mutated.pis[0], mutated.pis[1]
+        twist = mutated.and_(2 * a, 2 * b)
+        mutated.pos[-1] = mutated.xor_(po, twist)
+        assert cone_fingerprint(aig, [aig.pos[-1]]) != cone_fingerprint(
+            mutated, [mutated.pos[-1]]
+        )
+
+        before_miss = perf.counter("cache.spcf.miss")
+        out = opt.optimize(mutated)
+        assert perf.counter("cache.spcf.miss") > before_miss
+        assert check_equivalence(mutated, out)
+
+    def test_shared_cache_between_optimizers(self):
+        aig = ripple_carry_adder(4)
+        cache = ConeCache()
+        kw = dict(max_rounds=2, walk_modes=("target",), cache=cache)
+        LookaheadOptimizer(**kw).optimize(aig)
+        assert cache.stats()["spcf_entries"] > 0
+        before_hits = perf.counter("cache.spcf.hit")
+        LookaheadOptimizer(**kw).optimize(aig)
+        assert perf.counter("cache.spcf.hit") > before_hits

@@ -39,6 +39,25 @@ class TestConstruction:
         t = TruthTable.from_minterms([0, 3], 2)
         assert list(t.minterms()) == [0, 3]
 
+    def test_var_bits_mask_doubling_matches_definition(self):
+        # The doubling construction must agree with the minterm
+        # definition (bit m of var i is (m >> i) & 1) at every width,
+        # including when the cache resumes from a narrower prefix.
+        from repro.tt.truthtable import _VAR_CACHE, _var_bits
+
+        saved = dict(_VAR_CACHE)
+        try:
+            for order in (range(1, 11), range(10, 0, -1)):
+                _VAR_CACHE.clear()
+                for nvars in order:
+                    for i in range(nvars):
+                        bits = _var_bits(i, nvars)
+                        for m in range(1 << nvars):
+                            assert ((bits >> m) & 1) == ((m >> i) & 1)
+        finally:
+            _VAR_CACHE.clear()
+            _VAR_CACHE.update(saved)
+
     def test_from_minterms_range_check(self):
         with pytest.raises(ValueError):
             TruthTable.from_minterms([4], 2)
