@@ -1,0 +1,78 @@
+"""Skewed-arrival adders: completion time under prescribed PI arrivals.
+
+The non-uniform-arrival extension (Sec. 3's framework under the
+Held/Spirkl-style prescribed arrival regime): high-order adder inputs
+arrive late — bit ``i`` of each operand at time ``i``, the classic
+cascaded-datapath skew — and the lookahead optimizer is run once blind to
+the skew and once against it.  The table reports completion time (worst
+PO arrival under the skew) and the timing-engine telemetry of the
+arrival-aware run.
+
+Run:  pytest benchmarks/bench_arrival_adders.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro import perf
+from repro.adders import ripple_carry_adder
+from repro.cec import check_equivalence
+from repro.core import LookaheadOptimizer
+from repro.timing import AigTimingEngine, PrescribedArrival
+
+SIZES = (4, 8, 16)
+
+_results: Dict[int, Dict[str, float]] = {}
+
+
+def _staircase(n: int) -> Dict[str, int]:
+    return {f"{p}{i}": i for p in "ab" for i in range(n)}
+
+
+def _completion(aig, skew) -> int:
+    return AigTimingEngine(aig, PrescribedArrival(skew)).depth()
+
+
+def _row(n: int) -> Dict[str, float]:
+    if n in _results:
+        return _results[n]
+    aig = ripple_carry_adder(n)
+    skew = _staircase(n)
+    rounds = 12 if n <= 8 else 8
+    uniform = LookaheadOptimizer(max_rounds=rounds).optimize(aig)
+    perf.reset()
+    skewed = LookaheadOptimizer(
+        max_rounds=rounds, arrival_times=skew
+    ).optimize(aig)
+    counters = perf.snapshot().get("counters", {})
+    assert check_equivalence(aig, skewed)
+    row = {
+        "raw": _completion(aig, skew),
+        "uniform-opt": _completion(uniform, skew),
+        "skew-opt": _completion(skewed, skew),
+        "timing.full": counters.get("timing.recompute.full", 0),
+        "timing.incr": counters.get("timing.recompute.incremental", 0),
+    }
+    _results[n] = row
+    return row
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("n", SIZES)
+def test_arrival_row(benchmark, n):
+    row = benchmark.pedantic(_row, args=(n,), rounds=1, iterations=1)
+    assert row["skew-opt"] <= row["uniform-opt"] <= row["raw"]
+
+
+@pytest.mark.slow
+def test_print_arrival_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\nSkewed-arrival adders: completion time (bit i at t=i)")
+    cols = ["raw", "uniform-opt", "skew-opt", "timing.full", "timing.incr"]
+    print(f"{'n':>4} " + " ".join(f"{c:>12}" for c in cols))
+    for n in SIZES:
+        row = _row(n)
+        print(f"{n:>4} " + " ".join(f"{row[c]:>12.0f}" for c in cols))

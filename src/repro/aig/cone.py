@@ -29,6 +29,35 @@ def cone_pis(aig: AIG, lits: Iterable[int]) -> List[int]:
     return [var for var in aig.pis if var in cone]
 
 
+def critical_cone_vars(aig: AIG, engine=None) -> Set[int]:
+    """Zero-slack variables inside the fan-in cones of critical POs.
+
+    ``engine`` is a :class:`repro.timing.AigTimingEngine` (unit delay by
+    default), so criticality follows whatever delay model drives the flow
+    — under prescribed PI arrivals the critical cone chases the latest
+    *arrivals*, not the deepest paths.
+    """
+    if engine is None:
+        from ..timing import AigTimingEngine
+
+        engine = AigTimingEngine(aig)
+    crit = engine.critical_vars()
+    cone = fanin_cone_vars(
+        aig, [aig.pos[i] for i in engine.critical_pos()]
+    )
+    return crit & cone
+
+
+def extract_critical_cone(aig: AIG, po_index: int, engine=None) -> AIG:
+    """Standalone copy of one critical PO's fan-in cone (full PI space).
+
+    Equivalent to ``aig.extract([aig.pos[po_index]])``; the engine argument
+    exists so callers that already hold timing analysis reuse it for the
+    criticality bookkeeping around the extraction.
+    """
+    return aig.extract([aig.pos[po_index]])
+
+
 def fanout_lists(aig: AIG) -> List[List[int]]:
     """For each variable, the list of AND variables that read it."""
     fanouts: List[List[int]] = [[] for _ in range(aig.num_vars)]

@@ -3,115 +3,73 @@
 The paper's primary quality metric is the number of AIG logic levels; the
 critical machinery here (arrival/required times, critical node and PI sets)
 also feeds SPCF computation.
+
+This module is a thin facade over :class:`repro.timing.AigTimingEngine`
+with the unit delay model, preserving the original all-integer API.
+Callers that need non-uniform arrivals, other delay models, or incremental
+re-analysis should hold an engine directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from .aig import AIG, lit_var
+from .aig import AIG
 
 INF = float("inf")
 
 
+def _engine(aig: AIG):
+    from ..timing import AigTimingEngine
+
+    return AigTimingEngine(aig)
+
+
 def levels(aig: AIG) -> List[int]:
     """Arrival level of every variable (PIs and constant at level 0)."""
-    lvl = [0] * aig.num_vars
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        lvl[var] = 1 + max(lvl[lit_var(f0)], lvl[lit_var(f1)])
-    return lvl
+    return list(_engine(aig).arrivals())
 
 
 def depth(aig: AIG) -> int:
     """Number of logic levels of the AIG (max over POs)."""
-    lvl = levels(aig)
-    if not aig.pos:
-        return 0
-    return max(lvl[lit_var(po)] for po in aig.pos)
+    return _engine(aig).depth()
 
 
 def po_levels(aig: AIG) -> List[int]:
     """Arrival level of each primary output."""
-    lvl = levels(aig)
-    return [lvl[lit_var(po)] for po in aig.pos]
+    return _engine(aig).po_arrivals()
 
 
-def required_times(aig: AIG, target_depth: int = None) -> List[float]:
+def required_times(
+    aig: AIG, target_depth: Optional[int] = None
+) -> List[float]:
     """Required level of every variable against ``target_depth``.
 
     Defaults to the AIG's own depth, so slack 0 marks critical nodes.
     """
-    if target_depth is None:
-        target_depth = depth(aig)
-    req: List[float] = [INF] * aig.num_vars
-    for po in aig.pos:
-        var = lit_var(po)
-        req[var] = min(req[var], float(target_depth))
-    for var in reversed(list(aig.and_vars())):
-        if req[var] == INF:
-            continue
-        f0, f1 = aig.fanins(var)
-        for fi in (f0, f1):
-            fv = lit_var(fi)
-            req[fv] = min(req[fv], req[var] - 1)
-    return req
+    return _engine(aig).required_times(target_depth)
 
 
 def critical_vars(aig: AIG) -> Set[int]:
     """Variables with zero slack (on some topologically longest path)."""
-    lvl = levels(aig)
-    req = required_times(aig)
-    return {
-        var
-        for var in range(aig.num_vars)
-        if req[var] != INF and lvl[var] == req[var]
-    }
+    return _engine(aig).critical_vars()
 
 
 def critical_pis(aig: AIG) -> Set[int]:
     """PI variables lying on a critical path."""
-    crit = critical_vars(aig)
-    return {var for var in crit if aig.is_pi(var)}
+    return _engine(aig).critical_pis()
 
 
 def critical_pos(aig: AIG) -> List[int]:
     """PO indices whose cone contains a critical path."""
-    lvl = levels(aig)
-    d = depth(aig)
-    return [i for i, po in enumerate(aig.pos) if lvl[lit_var(po)] == d]
+    return _engine(aig).critical_pos()
 
 
 def a_critical_path(aig: AIG) -> List[int]:
     """One longest path as a list of variables from a PI to a PO."""
-    lvl = levels(aig)
-    d = depth(aig)
-    start = None
-    for po in aig.pos:
-        if lvl[lit_var(po)] == d:
-            start = lit_var(po)
-            break
-    if start is None:
-        return []
-    path = [start]
-    var = start
-    while aig.is_and(var):
-        f0, f1 = aig.fanins(var)
-        v0, v1 = lit_var(f0), lit_var(f1)
-        var = v0 if lvl[v0] >= lvl[v1] else v1
-        path.append(var)
-    path.reverse()
-    return path
+    return _engine(aig).critical_path()
 
 
 def slack_histogram(aig: AIG) -> Dict[int, int]:
     """Count of AND nodes per integer slack value (diagnostics)."""
-    lvl = levels(aig)
-    req = required_times(aig)
-    hist: Dict[int, int] = {}
-    for var in aig.and_vars():
-        if req[var] == INF:
-            continue
-        s = int(req[var]) - lvl[var]
-        hist[s] = hist.get(s, 0) + 1
-    return hist
+    return _engine(aig).slack_histogram()

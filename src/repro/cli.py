@@ -2,13 +2,17 @@
 
 Usage (also via ``python -m repro``):
 
-    python -m repro stats   circuit.aag
+    python -m repro stats   circuit.aag --arrival a3=5,b3=5
     python -m repro optimize circuit.aag -o out.aag --flow lookahead
+    python -m repro optimize circuit.aag --arrival-file arrivals.json
     python -m repro map     circuit.aag -o out.v
     python -m repro bench   --circuit C432
 
 Input formats: ASCII AIGER (.aag) and BLIF (.blif); outputs AIGER, BLIF,
-or gate-level Verilog (by extension).
+or gate-level Verilog (by extension).  ``--arrival name=t,...`` and
+``--arrival-file file.json`` prescribe non-uniform PI arrival times (in
+logic levels); the lookahead flows then optimize completion time instead
+of raw depth, and reports show arrival-aware timing.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from . import perf
 from .aig import AIG, depth, read_aag, read_blif, write_aag, write_blif
@@ -26,14 +30,73 @@ from .core import LookaheadOptimizer, lookahead_flow
 from .mapping import dynamic_power_uw, map_aig, mapped_delay
 from .mapping.verilog import write_verilog
 from .opt import abc_resyn2rs, dc_map_effort_high, sis_best
+from .timing import (
+    AigTimingEngine,
+    load_arrival_file,
+    parse_arrival_spec,
+    resolve_arrivals,
+)
 
-FLOWS: Dict[str, Callable[[AIG], AIG]] = {
-    "lookahead": lookahead_flow,
-    "lookahead-only": lambda a: LookaheadOptimizer(max_rounds=12).optimize(a),
-    "sis": sis_best,
-    "abc": abc_resyn2rs,
-    "dc": dc_map_effort_high,
+ArrivalMap = Optional[Dict[str, int]]
+
+
+def _arrival_agnostic(fn: Callable[[AIG], AIG], name: str):
+    """Wrap a conventional flow that has no notion of PI arrival times."""
+
+    def run(aig: AIG, arrival_times: ArrivalMap = None) -> AIG:
+        if arrival_times:
+            print(
+                f"warning: flow {name!r} ignores --arrival times",
+                file=sys.stderr,
+            )
+        return fn(aig)
+
+    return run
+
+
+FLOWS: Dict[str, Callable[..., AIG]] = {
+    "lookahead": lambda a, arrival_times=None: lookahead_flow(
+        a, arrival_times=arrival_times
+    ),
+    "lookahead-only": lambda a, arrival_times=None: LookaheadOptimizer(
+        max_rounds=12, arrival_times=arrival_times
+    ).optimize(a),
+    "sis": _arrival_agnostic(sis_best, "sis"),
+    "abc": _arrival_agnostic(abc_resyn2rs, "abc"),
+    "dc": _arrival_agnostic(dc_map_effort_high, "dc"),
 }
+
+
+def _parse_arrivals(args: argparse.Namespace, aig: AIG) -> ArrivalMap:
+    """Merge --arrival-file and --arrival (the flag wins per name)."""
+    arrivals: Dict[str, int] = {}
+    if getattr(args, "arrival_file", None):
+        arrivals.update(load_arrival_file(args.arrival_file))
+    if getattr(args, "arrival", None):
+        arrivals.update(parse_arrival_spec(args.arrival))
+    if not arrivals:
+        return None
+    unknown = sorted(set(arrivals) - set(aig.pi_names))
+    if unknown:
+        print(
+            "warning: arrival times for unknown inputs: "
+            + ", ".join(unknown),
+            file=sys.stderr,
+        )
+    return arrivals
+
+
+def _add_arrival_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arrival", metavar="NAME=T,...",
+        help="prescribed PI arrival times (comma-separated name=time "
+             "pairs, in logic levels)",
+    )
+    parser.add_argument(
+        "--arrival-file", metavar="FILE",
+        help="JSON file mapping PI names to arrival times "
+             '(e.g. {"a3": 5, "b3": 5})',
+    )
 
 
 def _read_circuit(path: str) -> AIG:
@@ -53,10 +116,17 @@ def _write_circuit(aig: AIG, path: str) -> None:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     aig = _read_circuit(args.input)
+    arrivals = _parse_arrivals(args, aig)
     print(f"inputs : {aig.num_pis}")
     print(f"outputs: {aig.num_pos}")
     print(f"ands   : {aig.num_ands()}")
     print(f"levels : {depth(aig)}")
+    if arrivals:
+        engine = AigTimingEngine(aig, resolve_arrivals(arrivals))
+        crit = engine.critical_pos()
+        names = [aig.po_names[i] or f"po{i}" for i in crit]
+        print(f"completion (prescribed arrivals): {engine.depth()}")
+        print(f"critical outputs: {', '.join(names)}")
     return 0
 
 
@@ -64,10 +134,11 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if args.workers is not None:
         os.environ[perf.WORKERS_ENV] = str(args.workers)
     aig = _read_circuit(args.input)
+    arrivals = _parse_arrivals(args, aig)
     flow = FLOWS[args.flow]
     perf.reset()
     start = time.time()
-    optimized = flow(aig)
+    optimized = flow(aig, arrival_times=arrivals)
     elapsed = time.time() - start
     if args.profile:
         print(perf.report(), file=sys.stderr)
@@ -79,6 +150,11 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         f"{args.flow}: ands {aig.num_ands()} -> {optimized.num_ands()}, "
         f"levels {depth(aig)} -> {depth(optimized)} ({elapsed:.1f}s)"
     )
+    if arrivals:
+        model = resolve_arrivals(arrivals)
+        before = AigTimingEngine(aig, model).depth()
+        after = AigTimingEngine(optimized, model).depth()
+        print(f"completion (prescribed arrivals): {before} -> {after}")
     if args.output:
         _write_circuit(optimized, args.output)
         print(f"wrote {args.output}")
@@ -129,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="print circuit statistics")
     p_stats.add_argument("input")
+    _add_arrival_args(p_stats)
     p_stats.set_defaults(func=cmd_stats)
 
     p_opt = sub.add_parser("optimize", help="run an optimization flow")
@@ -149,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"worker processes for parallel lookahead rounds "
              f"(overrides ${perf.WORKERS_ENV}; 1 = serial)",
     )
+    _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)
 
     p_map = sub.add_parser("map", help="technology-map to the 70nm library")

@@ -14,7 +14,6 @@ from ..aig import (
     AIG,
     CONST0,
     lit_neg,
-    lit_not,
     lit_notif,
     lit_var,
     random_patterns,
@@ -30,6 +29,7 @@ def sat_sweep(
     max_pairs: int = 5000,
     max_conflicts: int = 300,
     size_limit: int = 6000,
+    delay_model=None,
 ) -> AIG:
     """Merge functionally equivalent internal nodes (SAT-proved).
 
@@ -37,7 +37,8 @@ def sat_sweep(
     each candidate merge is proved by an incremental SAT query (bounded by
     ``max_conflicts``; unknown means no merge) before being applied.
     Circuits beyond ``size_limit`` AND nodes are only cleaned structurally.
-    Returns a rebuilt, cleaned AIG.
+    Returns a rebuilt, cleaned AIG.  ``delay_model`` makes the
+    never-worsen-arrival merge guard respect non-uniform PI arrivals.
     """
     if aig.num_ands() > size_limit:
         return aig.extract()
@@ -92,10 +93,14 @@ def sat_sweep(
 
     # Rebuild with replacements applied (reps have smaller ids, hence are
     # rebuilt before their members in topological order).  A merge is only
-    # taken when the representative is no deeper than the node it replaces,
-    # so area recovery never undoes a depth gain.
+    # taken when the representative arrives no later than the node it
+    # replaces, so area recovery never undoes a depth/arrival gain.  The
+    # timing engine extends its arrival array incrementally as the rebuild
+    # appends nodes.
+    from ..timing import AigTimingEngine
+
     dest = AIG()
-    new_level: List[int] = []
+    engine = AigTimingEngine(dest, delay_model)
     mapping: Dict[int, int] = {0: CONST0}
     for var, name in zip(aig.pis, aig.pi_names):
         mapping[var] = dest.add_pi(name)
@@ -103,24 +108,13 @@ def sat_sweep(
     def mapped(lit: int) -> int:
         return lit_notif(mapping[lit_var(lit)], lit_neg(lit))
 
-    def level_of(lit: int) -> int:
-        var = lit_var(lit)
-        while len(new_level) < dest.num_vars:
-            v = len(new_level)
-            if dest.is_and(v):
-                g0, g1 = dest.fanins(v)
-                new_level.append(
-                    1 + max(new_level[lit_var(g0)], new_level[lit_var(g1)])
-                )
-            else:
-                new_level.append(0)
-        return new_level[var]
-
     for var in aig.and_vars():
         f0, f1 = aig.fanins(var)
         own = dest.and_(mapped(f0), mapped(f1))
         target = replacement.get(var)
-        if target is not None and level_of(mapped(target)) <= level_of(own):
+        if target is not None and engine.arrival(
+            lit_var(mapped(target))
+        ) <= engine.arrival(lit_var(own)):
             mapping[var] = mapped(target)
         else:
             mapping[var] = own

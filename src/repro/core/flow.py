@@ -10,22 +10,30 @@ sensitizable critical structure.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..aig import AIG
 from .lookahead import LookaheadOptimizer
 
 
-def _quality(aig: AIG):
-    from ..aig import depth
+def _make_quality(arrival_times: Optional[Dict[str, int]]):
+    """Quality metric: worst PO completion time under the flow's delay
+    model, then size.  With no prescribed arrivals this is exactly the
+    legacy (depth, num_ands) ordering."""
+    from ..timing import AigTimingEngine, resolve_arrivals
 
-    return (depth(aig), aig.num_ands())
+    def _quality(aig: AIG):
+        model = resolve_arrivals(arrival_times)
+        return (AigTimingEngine(aig, model).depth(), aig.num_ands())
+
+    return _quality
 
 
 def lookahead_flow(
     aig: AIG,
     optimizer: Optional[LookaheadOptimizer] = None,
     max_iterations: int = 4,
+    arrival_times: Optional[Dict[str, int]] = None,
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -35,13 +43,18 @@ def lookahead_flow(
     a fixpoint.  The result is never worse than the conventional flow
     alone, and the decomposition gets a first shot at the raw circuit,
     where long sensitizable chains are still visible.
+
+    ``arrival_times`` (PI name -> integer arrival) puts both the optimizer
+    and the quality gate in the non-uniform arrival regime; when an
+    explicit ``optimizer`` is passed its own ``arrival_times`` win.
     """
     from .. import perf
     from ..opt import dc_map_effort_high
 
     opt = optimizer or LookaheadOptimizer(
-        max_rounds=16, max_outputs_per_round=8
+        max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times
     )
+    _quality = _make_quality(opt.arrival_times)
     current = aig.extract()
     # The conventional candidate is recomputed only when `current` actually
     # changed under it.  When the conventional flow itself wins an

@@ -32,15 +32,13 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import perf
 from ..aig import (
     AIG,
     CONST0,
     cone_fingerprint,
-    depth,
-    levels,
     lit_not,
     lit_var,
     random_patterns,
@@ -57,6 +55,7 @@ from .model import BddBlowup, BddModel, ExactModel, SignatureModel
 from .reconstruct import reconstruct
 from .reduce import primary_reduce
 from .secondary import ExactCareChecker, SatCareChecker, secondary_simplify
+from ..timing import AigTimingEngine, resolve_arrivals
 from .spcf import (
     Spcf,
     spcf_exact_bdd,
@@ -79,7 +78,11 @@ BDD_MODE_PI_LIMIT = 26
 # A cone task is a plain picklable tuple:
 #
 #   (po_index, cone_aig | None, cone_net, mode, spcf_kind, sim_width, seed,
-#    walk_mode, spcf_payload | None)
+#    walk_mode, spcf_payload | None, arrival_map | None)
+#
+# ``arrival_map`` is the raw PI-name -> arrival-time dict (delay-model
+# objects stay out of the tuple so pickling never depends on model state);
+# workers rebuild the cone-local timing engine from it.
 #
 # ``cone_aig`` is the output's critical cone extracted over the full PI
 # space (``AIG.extract``), needed only when the SPCF is not already cached;
@@ -106,8 +109,22 @@ def _deserialize_spcf(payload: Tuple) -> Spcf:
     return Spcf("sim", signature=payload[1])
 
 
+def _pi_arrival_ints(model, pi_names: Sequence[str]) -> Optional[List[int]]:
+    """Per-position integer PI arrivals of a delay model (None if uniform)."""
+    if model is None:
+        return None
+    return [
+        int(model.pi_arrival(i, name)) for i, name in enumerate(pi_names)
+    ]
+
+
 def _cone_spcf(
-    cone_aig: AIG, mode: str, spcf_kind: str, sim_width: int, seed: int
+    cone_aig: AIG,
+    mode: str,
+    spcf_kind: str,
+    sim_width: int,
+    seed: int,
+    arrival_map: Optional[Dict[str, int]] = None,
 ) -> Optional[Spcf]:
     """SPCF of a single-PO critical cone (PO index 0).
 
@@ -116,9 +133,16 @@ def _cone_spcf(
     nothing else.  Starts at the full output depth and relaxes Δ: longest
     paths may be statically unsensitizable, and a near-empty SPCF makes a
     useless weight metric — the paper's Δ is a free threshold.
+
+    ``arrival_map`` (PI name -> integer arrival) shifts the whole analysis
+    into the non-uniform arrival regime: arrivals come from a cone-local
+    timing engine and Δ is interpreted against completion times, so a late
+    PI's short structural path can be the critical one.
     """
-    lvl = levels(cone_aig)
-    po_depth = lvl[lit_var(cone_aig.pos[0])]
+    model = resolve_arrivals(arrival_map)
+    engine = AigTimingEngine(cone_aig, model)
+    lvl = engine.arrivals()
+    po_depth = int(lvl[lit_var(cone_aig.pos[0])])
     if po_depth == 0:
         return None
     min_count = 1 if mode == "tt" else max(8, sim_width // 128)
@@ -128,15 +152,19 @@ def _cone_spcf(
     if mode == "sim":
         pi_words = random_patterns(cone_aig.num_pis, sim_width, seed)
         timed = timed_simulation(
-            cone_aig, unpack_patterns(pi_words, sim_width)
+            cone_aig,
+            unpack_patterns(pi_words, sim_width),
+            pi_arrivals=_pi_arrival_ints(model, cone_aig.pi_names),
         )
     fallback = None
     for delta in range(po_depth, min_delta - 1, -1):
         if mode == "tt":
             if spcf_kind == "overapprox":
-                tt = spcf_overapprox_tt(cone_aig, 0, delta, tts=tts)
+                tt = spcf_overapprox_tt(
+                    cone_aig, 0, delta, tts=tts, arrivals=lvl
+                )
             else:
-                tt = spcf_exact_tt(cone_aig, 0, delta, tts=tts)
+                tt = spcf_exact_tt(cone_aig, 0, delta, tts=tts, arrivals=lvl)
             spcf = Spcf("tt", tt=tt)
         else:
             sig = spcf_signature(cone_aig, 0, delta, None, timed=timed)
@@ -156,6 +184,7 @@ def _process_cone(
     seed: int,
     walk_mode: str,
     phases: Dict[str, float],
+    arrival_map: Optional[Dict[str, int]] = None,
 ) -> Optional[Tuple[Network, int, Network]]:
     """Primary reduce + secondary simplify on a standalone cone network."""
     pos_net = cone_net
@@ -168,7 +197,10 @@ def _process_cone(
         model = ExactModel(pos_net)
     spcf_fn = model.spcf_fn(spcf)
     t0 = time.perf_counter()
-    primary = primary_reduce(pos_net, 0, model, spcf_fn, walk_mode=walk_mode)
+    primary = primary_reduce(
+        pos_net, 0, model, spcf_fn, walk_mode=walk_mode,
+        delay_model=resolve_arrivals(arrival_map),
+    )
     phases["reduce"] = phases.get("reduce", 0.0) + time.perf_counter() - t0
     if not primary.success or primary.sigma_nid is None:
         return None
@@ -210,12 +242,15 @@ def _run_cone_task(task: Tuple) -> Tuple:
         seed,
         walk_mode,
         payload,
+        arrival_map,
     ) = task
     start = time.perf_counter()
     phases: Dict[str, float] = {}
     if payload is None:
         t0 = time.perf_counter()
-        spcf = _cone_spcf(cone_aig, mode, spcf_kind, sim_width, seed)
+        spcf = _cone_spcf(
+            cone_aig, mode, spcf_kind, sim_width, seed, arrival_map
+        )
         phases["spcf"] = time.perf_counter() - t0
         if spcf is not None and not spcf.is_empty():
             payload = _serialize_spcf(spcf)
@@ -225,7 +260,8 @@ def _run_cone_task(task: Tuple) -> Tuple:
         phases["total"] = time.perf_counter() - start
         return (po_index, False, None, None, None, None, phases)
     result = _process_cone(
-        cone_net, spcf, mode, sim_width, seed, walk_mode, phases
+        cone_net, spcf, mode, sim_width, seed, walk_mode, phases,
+        arrival_map,
     )
     phases["total"] = time.perf_counter() - start
     if result is None:
@@ -252,6 +288,7 @@ class LookaheadOptimizer:
         walk_modes: Tuple[str, ...] = ("target", "full"),
         workers: Optional[int] = None,
         cache: Optional[ConeCache] = None,
+        arrival_times: Optional[Dict[str, int]] = None,
     ):
         """Configure the optimizer.
 
@@ -264,6 +301,11 @@ class LookaheadOptimizer:
         the serial path (see :func:`repro.perf.get_workers`).  ``cache``:
         a :class:`ConeCache` to share across optimizers; by default each
         optimizer owns one, which persists across its ``optimize()`` calls.
+        ``arrival_times`` maps PI names to integer prescribed arrival
+        times (non-uniform regime): criticality, SPCFs, reconstruction
+        trees, and the acceptance metric all follow completion times
+        instead of raw logic depth.  ``None`` is the unit-delay model and
+        reproduces the uniform-arrival flow bit-for-bit.
         """
         self.max_rounds = max_rounds
         self.k = k
@@ -278,17 +320,26 @@ class LookaheadOptimizer:
         self.walk_modes = walk_modes
         self.workers = workers
         self.cache = cache if cache is not None else ConeCache()
+        self.arrival_times = dict(arrival_times) if arrival_times else None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
 
+    # -- delay model ------------------------------------------------------------
+
+    def _delay_model(self):
+        """Fresh delay model for the configured arrivals (None = unit)."""
+        return resolve_arrivals(self.arrival_times)
+
+    def _model_key(self) -> tuple:
+        model = self._delay_model()
+        return model.key() if model is not None else ("unit",)
+
     # -- public API -------------------------------------------------------------
 
-    @staticmethod
-    def _quality(aig: AIG) -> Tuple[int, int, int]:
-        """Lexicographic quality: depth, then total PO levels, then size."""
-        from ..aig import po_levels
-
-        pol = po_levels(aig)
+    def _quality(self, aig: AIG) -> Tuple[int, int, int]:
+        """Lexicographic quality: worst PO arrival, total arrival, size."""
+        engine = AigTimingEngine(aig, self._delay_model())
+        pol = engine.po_arrivals()
         return (max(pol) if pol else 0, sum(pol), aig.num_ands())
 
     def optimize(self, aig: AIG) -> AIG:
@@ -350,21 +401,19 @@ class LookaheadOptimizer:
         return "sim"
 
     def _one_round(self, aig: AIG, walk_mode: str = "target") -> Optional[AIG]:
-        d = depth(aig)
+        engine = AigTimingEngine(aig, self._delay_model())
+        d = engine.depth()
         if d <= 1:
             return None
         mode = self._resolve_mode(aig)
         perf.incr("rounds")
         with perf.timer("phase.renode"):
             net = renode(aig, self.k)
-        aig_levels = levels(aig)
+        aig_levels = engine.arrivals()
         # Criticality is judged on the decomposed circuit (the AIG), where
-        # the SPCF and the paper's quality metric live.
-        critical = [
-            i
-            for i, po in enumerate(aig.pos)
-            if aig_levels[lit_var(po)] == d
-        ]
+        # the SPCF and the paper's quality metric live; under prescribed
+        # arrivals the engine's zero-slack POs replace the deepest ones.
+        critical = engine.critical_pos()
         if self.max_outputs_per_round is not None:
             critical = critical[: self.max_outputs_per_round]
 
@@ -391,7 +440,10 @@ class LookaheadOptimizer:
                 self.cache.mark_rejected(key)
         if self.area_recovery:
             with perf.timer("phase.sweep"):
-                rebuilt = sat_sweep(rebuilt, seed=self.seed)
+                rebuilt = sat_sweep(
+                    rebuilt, seed=self.seed,
+                    delay_model=self._delay_model(),
+                )
         return rebuilt
 
     def _cone_round(
@@ -425,7 +477,11 @@ class LookaheadOptimizer:
                     aig.num_pis, self.sim_width, self.seed
                 )
                 timed = timed_simulation(
-                    aig, unpack_patterns(pi_words, self.sim_width)
+                    aig,
+                    unpack_patterns(pi_words, self.sim_width),
+                    pi_arrivals=_pi_arrival_ints(
+                        self._delay_model(), aig.pi_names
+                    ),
                 )
                 shared_sim.append((pi_words, timed))
             pi_words, timed = shared_sim[0]
@@ -441,8 +497,10 @@ class LookaheadOptimizer:
             for po_index in critical:
                 po_lit = aig.pos[po_index]
                 fp = cone_fingerprint(aig, [po_lit])
+                # The model key keeps unit and prescribed-arrival runs
+                # from colliding in the shared cone cache.
                 spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
-                            self.seed)
+                            self.seed, self._model_key())
                 cfg_key = spcf_key + (walk_mode, self.k, self.use_rules)
                 if self.cache.is_rejected(cfg_key) or self.cache.is_rejected(
                     spcf_key
@@ -475,6 +533,7 @@ class LookaheadOptimizer:
                         self.seed,
                         walk_mode,
                         payload,
+                        self.arrival_times,
                     )
                 )
 
@@ -534,7 +593,13 @@ class LookaheadOptimizer:
                     aig.num_pis, self.sim_width, self.seed
                 )
                 pi_bits = unpack_patterns(pi_words, self.sim_width)
-                timed = timed_simulation(aig, pi_bits)
+                timed = timed_simulation(
+                    aig,
+                    pi_bits,
+                    pi_arrivals=_pi_arrival_ints(
+                        self._delay_model(), aig.pi_names
+                    ),
+                )
 
         processed: List[Tuple[int, Network, int, Network]] = []
         for po_index in critical:
@@ -581,7 +646,7 @@ class LookaheadOptimizer:
         pi_words: List[int],
         bdd_manager=None,
     ) -> Optional[Spcf]:
-        po_depth = aig_levels[lit_var(aig.pos[po_index])]
+        po_depth = int(aig_levels[lit_var(aig.pos[po_index])])
         if po_depth == 0:
             return None
         # Start at the full output depth and relax: longest paths may be
@@ -593,12 +658,18 @@ class LookaheadOptimizer:
         for delta in range(po_depth, min_delta - 1, -1):
             if mode == "tt":
                 if self.spcf_kind == "overapprox":
-                    tt = spcf_overapprox_tt(aig, po_index, delta)
+                    tt = spcf_overapprox_tt(
+                        aig, po_index, delta, arrivals=aig_levels
+                    )
                 else:
-                    tt = spcf_exact_tt(aig, po_index, delta)
+                    tt = spcf_exact_tt(
+                        aig, po_index, delta, arrivals=aig_levels
+                    )
                 spcf = Spcf("tt", tt=tt)
             elif mode == "bdd":
-                ref = spcf_exact_bdd(aig, po_index, delta, bdd_manager)
+                ref = spcf_exact_bdd(
+                    aig, po_index, delta, bdd_manager, arrivals=aig_levels
+                )
                 if ref is None:
                     return None  # manager blowup: caller falls back
                 spcf = Spcf(
@@ -635,7 +706,8 @@ class LookaheadOptimizer:
             model = SignatureModel(pos_net, pi_words, self.sim_width)
         spcf_fn = model.spcf_fn(spcf)
         primary = primary_reduce(
-            pos_net, 0, model, spcf_fn, walk_mode=walk_mode
+            pos_net, 0, model, spcf_fn, walk_mode=walk_mode,
+            delay_model=self._delay_model(),
         )
         if not primary.success or primary.sigma_nid is None:
             return None
@@ -672,7 +744,7 @@ class LookaheadOptimizer:
         not depend on which other outputs were processed.
         """
         dest = AIG()
-        builder = ArrivalAwareBuilder(dest)
+        builder = ArrivalAwareBuilder(dest, self._delay_model())
         mapping: Dict[int, int] = {0: CONST0}
         pi_lits = []
         for var, name in zip(aig.pis, aig.pi_names):

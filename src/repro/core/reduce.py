@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..netlist import Network, compute_levels, critical_inputs
+from ..netlist import Network, critical_inputs
+from ..timing import NetworkTimingEngine
 from ..tt import TruthTable
 from .simplify import simplify_node
 
@@ -66,6 +67,7 @@ def primary_reduce(
     max_steps: int = 200,
     window_limit: Optional[int] = None,
     walk_mode: str = "target",
+    delay_model=None,
 ) -> PrimaryResult:
     """Fig. 2 ``Reduce``: walk and simplify the critical cone of one output.
 
@@ -77,9 +79,14 @@ def primary_reduce(
     target (the paper's ``until level(y) < l_T``); ``'full'`` keeps
     simplifying along the critical path to its end, which collects the
     full window conjunction (the carry-skip shape) at a higher area cost.
+
+    ``delay_model`` seeds PI arrivals (non-uniform arrival regime); the
+    timing engine re-evaluates only the simplified node's fanout cone
+    after each accepted simplification instead of the whole network.
     """
     root, _neg = net.pos[po_index]
-    levels = compute_levels(net)
+    engine = NetworkTimingEngine(net, delay_model)
+    levels = engine.levels()
     if target_level is None:
         target_level = levels[root]
     if window_limit is None:
@@ -101,7 +108,8 @@ def primary_reduce(
         if outcome.changed:
             windows[current] = outcome.window
             model.recompute()
-            levels = compute_levels(net)
+            engine.invalidate(current)
+            levels = engine.levels()
             if walk_mode == "target" and levels[root] < target_level:
                 break
         # Descend: highest unvisited critical fan-in of the current node.

@@ -34,17 +34,23 @@ def _sensitization_dp(
     delta: int,
     relaxed: bool,
     tts: Optional[List[TruthTable]] = None,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> TruthTable:
     """Shared DP for the exact and over-approximate SPCF truth tables.
 
     ``tts`` lets callers pass precomputed node truth tables so the
     Δ-relaxation loop (and the cross-round cone cache) tabulates the
     circuit once instead of once per Δ.
+
+    ``arrivals`` are engine-reported arrival times (integer unit-gate
+    model): Δ is interpreted relative to them, so with prescribed PI
+    arrivals a path is Δ-critical when it *completes* at time >= Δ —
+    a late PI absorbs the residual budget up to its own arrival time.
     """
     n = aig.num_pis
     if tts is None:
         tts = node_tts(aig)
-    lvl = levels(aig)
+    lvl = arrivals if arrivals is not None else levels(aig)
     const0 = TruthTable.const(False, n)
     const1 = TruthTable.const(True, n)
     memo: Dict[Tuple[int, int], TruthTable] = {}
@@ -64,9 +70,14 @@ def _sensitization_dp(
             memo[(var, t)] = const1
             stack.pop()
             continue
-        if not aig.is_and(var) or lvl[var] < t:
-            # PIs and the constant cannot start a positive-length path;
-            # a node of level < t cannot terminate one.
+        if not aig.is_and(var):
+            # A PI absorbs any residual budget within its arrival time
+            # (always 0 under unit delay); the constant starts nothing.
+            memo[(var, t)] = const1 if t <= lvl[var] else const0
+            stack.pop()
+            continue
+        if lvl[var] < t:
+            # A node arriving before t cannot terminate a t-path.
             memo[(var, t)] = const0
             stack.pop()
             continue
@@ -98,10 +109,12 @@ def spcf_exact_tt(
     po_index: int,
     delta: int,
     tts: Optional[List[TruthTable]] = None,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> TruthTable:
     """Exact static-sensitization SPCF of a PO as a PI-space truth table."""
     return _sensitization_dp(
-        aig, aig.pos[po_index], delta, relaxed=False, tts=tts
+        aig, aig.pos[po_index], delta, relaxed=False, tts=tts,
+        arrivals=arrivals,
     )
 
 
@@ -110,10 +123,12 @@ def spcf_overapprox_tt(
     po_index: int,
     delta: int,
     tts: Optional[List[TruthTable]] = None,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> TruthTable:
     """Node-based over-approximate SPCF (superset of the exact SPCF)."""
     return _sensitization_dp(
-        aig, aig.pos[po_index], delta, relaxed=True, tts=tts
+        aig, aig.pos[po_index], delta, relaxed=True, tts=tts,
+        arrivals=arrivals,
     )
 
 
@@ -140,14 +155,17 @@ def pack_signature(bits: np.ndarray) -> int:
 
 
 def timed_simulation(
-    aig: AIG, pi_bits: np.ndarray
+    aig: AIG,
+    pi_bits: np.ndarray,
+    pi_arrivals: Optional[Sequence[int]] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
     """Floating-mode timed simulation.
 
     ``pi_bits`` has shape (num_pis, P).  Returns per-variable boolean value
     vectors and integer arrival-time vectors: a controlled AND output
     arrives one level after its earliest controlling input; an uncontrolled
-    output one level after its latest input.
+    output one level after its latest input.  ``pi_arrivals`` (by PI
+    position) seeds non-uniform input arrival times; default all zero.
     """
     num_patterns = pi_bits.shape[1] if pi_bits.size else 0
     values: List[np.ndarray] = [
@@ -158,6 +176,10 @@ def timed_simulation(
     ]
     for i, pi in enumerate(aig.pis):
         values[pi] = pi_bits[i]
+        if pi_arrivals is not None and pi_arrivals[i]:
+            arrivals[pi] = np.full(
+                num_patterns, pi_arrivals[i], dtype=np.int32
+            )
     for var in aig.and_vars():
         f0, f1 = aig.fanins(var)
         a = values[lit_var(f0)]
@@ -201,6 +223,7 @@ def spcf_exact_bdd(
     delta: int,
     bdd,
     size_limit: int = 500_000,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> Optional[int]:
     """Exact static-sensitization SPCF of a PO as a BDD reference.
 
@@ -212,7 +235,7 @@ def spcf_exact_bdd(
     from ..bdd import FALSE, TRUE, aig_to_bdd, ref_not
 
     po_lit = aig.pos[po_index]
-    lvl = levels(aig)
+    lvl = arrivals if arrivals is not None else levels(aig)
     roots = [make_var_lit(v) for v in _cone_and_vars(aig, po_lit)]
     node_refs_list = aig_to_bdd(bdd, aig, roots, size_limit=size_limit)
     if node_refs_list is None:
@@ -239,7 +262,11 @@ def spcf_exact_bdd(
             memo[(var, t)] = TRUE
             stack.pop()
             continue
-        if not aig.is_and(var) or lvl[var] < t:
+        if not aig.is_and(var):
+            memo[(var, t)] = TRUE if t <= lvl[var] else FALSE
+            stack.pop()
+            continue
+        if lvl[var] < t:
             memo[(var, t)] = FALSE
             stack.pop()
             continue

@@ -8,7 +8,7 @@ from .library import (
     default_library,
 )
 from .mapper import GateInstance, MappedNetlist, map_aig
-from .sta import analyze, mapped_delay, signal_loads
+from .sta import analyze, mapped_delay, required_times, signal_loads, slacks
 from .power import dynamic_power_uw, switching_activities
 from .verilog import write_verilog
 
@@ -23,7 +23,9 @@ __all__ = [
     "map_aig",
     "analyze",
     "mapped_delay",
+    "required_times",
     "signal_loads",
+    "slacks",
     "dynamic_power_uw",
     "switching_activities",
     "write_verilog",

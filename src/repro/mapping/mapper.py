@@ -63,6 +63,17 @@ class MappedNetlist:
             return 0.0
         return max(self.arrival.get(sig, 0.0) for sig in self.po_signals)
 
+    def timing(self, target: Optional[float] = None):
+        """Load-aware timing engine over this netlist.
+
+        The returned :class:`repro.timing.MappedTimingEngine` shares the
+        arrival/required/slack query interface with the AIG and network
+        engines, so reporting code is subject-agnostic.
+        """
+        from ..timing import MappedTimingEngine
+
+        return MappedTimingEngine(self, target)
+
     def evaluate(self, assignment: Sequence[bool]) -> List[bool]:
         """Evaluate the gate-level netlist on one input assignment."""
         values: Dict[Signal, bool] = {(0, False): False, (0, True): True}

@@ -7,7 +7,7 @@ constant), giving the "Delay" figure reported in Table 2.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .library import NOMINAL_LOAD_FF
 from .mapper import GateInstance, MappedNetlist, Signal
@@ -52,3 +52,32 @@ def mapped_delay(netlist: MappedNetlist) -> float:
     """The Table 2 'Delay' metric (ps, load-aware)."""
     worst, _ = analyze(netlist)
     return worst
+
+
+def required_times(
+    netlist: MappedNetlist, target: Optional[float] = None
+) -> Dict[Signal, float]:
+    """Load-aware required time of every signal against ``target``.
+
+    Delegates to :class:`repro.timing.MappedTimingEngine`, the shared
+    required-time/slack interface over mapped netlists; ``target``
+    defaults to the worst PO arrival (zero worst slack).
+    """
+    from ..timing import MappedTimingEngine
+
+    return MappedTimingEngine(netlist, target).required_times()
+
+
+def slacks(
+    netlist: MappedNetlist, target: Optional[float] = None
+) -> Dict[Signal, float]:
+    """Per-signal slack (required minus arrival) under real loads."""
+    from ..timing import MappedTimingEngine
+
+    engine = MappedTimingEngine(netlist, target)
+    req = engine.required_times()
+    return {
+        sig: r - engine.arrival(sig)
+        for sig, r in req.items()
+        if r != float("inf")
+    }

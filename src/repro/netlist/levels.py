@@ -69,22 +69,22 @@ def node_level(tt: TruthTable, fanin_levels: Sequence[int]) -> int:
     )
 
 
-def compute_levels(net: Network) -> Dict[int, int]:
-    """Level of every node in the network (PIs at 0)."""
-    levels: Dict[int, int] = {pi: 0 for pi in net.pis}
-    for nid in net.topo_order():
-        node = net.nodes[nid]
-        fl = [levels[f] for f in node.fanins]
-        levels[nid] = node_level(node.tt, fl)
-    return levels
+def compute_levels(net: Network, model=None) -> Dict[int, int]:
+    """Level of every node in the network (PIs at the model's arrivals).
+
+    Facade over :class:`repro.timing.NetworkTimingEngine`; hold an engine
+    directly for incremental re-analysis across edits.
+    """
+    from ..timing import NetworkTimingEngine
+
+    return dict(NetworkTimingEngine(net, model).levels())
 
 
-def network_depth(net: Network) -> int:
+def network_depth(net: Network, model=None) -> int:
     """Max PO level of the network."""
-    levels = compute_levels(net)
-    if not net.pos:
-        return 0
-    return max(levels[nid] for nid, _neg in net.pos)
+    from ..timing import NetworkTimingEngine
+
+    return NetworkTimingEngine(net, model).depth()
 
 
 def po_level(net: Network, po_index: int, levels: Dict[int, int]) -> int:

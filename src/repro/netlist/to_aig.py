@@ -9,7 +9,7 @@ the optimal-depth trees assumed by the paper's level model.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from ..aig import AIG, CONST0, CONST1, lit_not, lit_var
 from ..sop import Cover, factor
@@ -20,35 +20,27 @@ from .network import Network
 
 
 class ArrivalAwareBuilder:
-    """AIG construction wrapper tracking levels for arrival-aware trees."""
+    """AIG construction wrapper tracking arrivals for arrival-aware trees.
 
-    def __init__(self, aig: AIG):
+    Arrival bookkeeping is delegated to an incremental
+    :class:`repro.timing.AigTimingEngine`, so a delay model with
+    non-uniform PI arrivals makes every tree built here (and the
+    reconstruction acceptance checks in the lookahead optimizer)
+    arrival-aware.  The engine's lazy extension also covers nodes added to
+    the AIG outside this builder.
+    """
+
+    def __init__(self, aig: AIG, model=None):
+        from ..timing import AigTimingEngine
+
         self.aig = aig
-        self._levels: List[int] = [0] * aig.num_vars
+        self.engine = AigTimingEngine(aig, model)
 
     def level(self, lit: int) -> int:
-        var = lit_var(lit)
-        if var >= len(self._levels):
-            self._refresh()
-        return self._levels[var]
-
-    def _refresh(self) -> None:
-        old = len(self._levels)
-        self._levels.extend([0] * (self.aig.num_vars - old))
-        for var in range(old, self.aig.num_vars):
-            if self.aig.is_and(var):
-                f0, f1 = self.aig.fanins(var)
-                self._levels[var] = 1 + max(
-                    self._levels[lit_var(f0)], self._levels[lit_var(f1)]
-                )
+        return self.engine.arrival(lit_var(lit))
 
     def and_(self, a: int, b: int) -> int:
-        out = self.aig.and_(a, b)
-        if lit_var(out) >= len(self._levels):
-            # _refresh recomputes every missing level from fan-ins, which
-            # also covers nodes added to the AIG outside this builder.
-            self._refresh()
-        return out
+        return self.aig.and_(a, b)
 
     def or_(self, a: int, b: int) -> int:
         return lit_not(self.and_(lit_not(a), lit_not(b)))
@@ -143,10 +135,14 @@ def synthesize_into(
     return lit_of
 
 
-def network_to_aig(net: Network) -> AIG:
-    """Convert the network to a cleaned, structurally hashed AIG."""
+def network_to_aig(net: Network, model=None) -> AIG:
+    """Convert the network to a cleaned, structurally hashed AIG.
+
+    ``model`` (a :class:`repro.timing.DelayModel`) seeds PI arrivals so the
+    synthesized trees hide late-arriving inputs.
+    """
     aig = AIG()
-    builder = ArrivalAwareBuilder(aig)
+    builder = ArrivalAwareBuilder(aig, model)
     pi_lits = [aig.add_pi(net.nodes[p].name) for p in net.pis]
     lit_of = synthesize_into(builder, net, pi_lits)
     for (nid, neg), name in zip(net.pos, net.po_names):

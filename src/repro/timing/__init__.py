@@ -1,0 +1,39 @@
+"""Unified timing engine: delay models, arrivals, required times, slack.
+
+The single home for every timing question in the system.  ``repro.aig.
+levels`` and ``repro.netlist.levels`` are thin facades over the engines in
+this package; the lookahead optimizer, the arrival-aware synthesizer, SAT
+sweeping, and the mapped-netlist STA all share the same analysis.
+"""
+
+from .delay import (
+    DelayModel,
+    LoadAwareDelay,
+    PrescribedArrival,
+    UnitDelay,
+    load_arrival_file,
+    parse_arrival_spec,
+    resolve_arrivals,
+)
+from .engine import (
+    INF,
+    AigTimingEngine,
+    MappedTimingEngine,
+    NetworkTimingEngine,
+    TimingEngine,
+)
+
+__all__ = [
+    "DelayModel",
+    "LoadAwareDelay",
+    "PrescribedArrival",
+    "UnitDelay",
+    "load_arrival_file",
+    "parse_arrival_spec",
+    "resolve_arrivals",
+    "INF",
+    "AigTimingEngine",
+    "MappedTimingEngine",
+    "NetworkTimingEngine",
+    "TimingEngine",
+]

@@ -1,0 +1,107 @@
+"""Delay models: parsing, keys, load-aware delays, mapped-netlist STA."""
+
+import json
+
+import pytest
+
+from repro.adders.generators import ripple_carry_adder
+from repro.mapping import map_aig, required_times, slacks
+from repro.timing import (
+    INF,
+    AigTimingEngine,
+    LoadAwareDelay,
+    MappedTimingEngine,
+    PrescribedArrival,
+    UnitDelay,
+    load_arrival_file,
+    parse_arrival_spec,
+    resolve_arrivals,
+)
+
+
+class TestParsing:
+    def test_spec_ints_and_floats(self):
+        spec = parse_arrival_spec("a0=3, b1=2.5 ,c=0")
+        assert spec == {"a0": 3, "b1": 2.5, "c": 0}
+        assert isinstance(spec["a0"], int)
+
+    def test_spec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_arrival_spec("a0")
+        with pytest.raises(ValueError):
+            parse_arrival_spec("a0=xyz")
+
+    def test_arrival_file_roundtrip(self, tmp_path):
+        path = tmp_path / "arr.json"
+        path.write_text(json.dumps({"a0": 4, "b0": 2.0}))
+        arr = load_arrival_file(str(path))
+        assert arr == {"a0": 4, "b0": 2}
+        assert isinstance(arr["b0"], int)  # whole floats collapse to int
+
+    def test_arrival_file_rejects_non_numbers(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"a0": "late"}))
+        with pytest.raises(ValueError):
+            load_arrival_file(str(path))
+
+    def test_resolve(self):
+        assert resolve_arrivals(None) is None
+        assert resolve_arrivals({}) is None
+        model = resolve_arrivals({"x": 2})
+        assert isinstance(model, PrescribedArrival)
+        assert model.pi_arrival(0, "x") == 2
+        assert model.pi_arrival(1, "y") == 0
+
+
+class TestModelKeys:
+    def test_keys_distinguish_models(self):
+        unit = UnitDelay()
+        p1 = PrescribedArrival({"a": 1})
+        p2 = PrescribedArrival({"a": 2})
+        keys = {unit.key(), p1.key(), p2.key()}
+        assert len(keys) == 3
+        assert p1.key() == PrescribedArrival({"a": 1}).key()
+
+
+class TestLoadAware:
+    def test_fanout_sensitivity(self):
+        model = LoadAwareDelay()
+        assert model.gate_delay(2) > model.gate_delay(1)
+
+    def test_engine_with_load_model(self):
+        aig = ripple_carry_adder(3)
+        engine = AigTimingEngine(aig, LoadAwareDelay())
+        unit_depth = AigTimingEngine(aig).depth()
+        d = engine.depth()
+        assert d > 0
+        # ps-scale delays: strictly more than one unit per level.
+        assert d > unit_depth
+        # Appending nodes forces a coherent full recompute.
+        a, b = aig.pis[0] * 2, aig.pis[1] * 2
+        aig.and_(a, b)
+        fresh = AigTimingEngine(aig, LoadAwareDelay())
+        assert list(engine.arrivals()) == list(fresh.arrivals())
+
+
+class TestMappedEngine:
+    def test_worst_slack_zero_at_own_target(self):
+        netlist = map_aig(ripple_carry_adder(4))
+        engine = MappedTimingEngine(netlist)
+        assert engine.worst_slack() == pytest.approx(0.0, abs=1e-9)
+        assert engine.critical_signals()
+        req = engine.required_times()
+        for sig, r in req.items():
+            if r != INF:
+                assert r >= engine.arrival(sig) - 1e-9
+
+    def test_netlist_timing_accessor_and_sta_helpers(self):
+        netlist = map_aig(ripple_carry_adder(4))
+        engine = netlist.timing()
+        assert engine.depth() == pytest.approx(netlist.timing().depth())
+        s = slacks(netlist)
+        assert min(s.values()) == pytest.approx(0.0, abs=1e-9)
+        req = required_times(netlist, target=engine.depth() + 10.0)
+        # Loosening the target adds exactly the margin everywhere.
+        for sig, r in engine.required_times().items():
+            if r != INF:
+                assert req[sig] == pytest.approx(r + 10.0)

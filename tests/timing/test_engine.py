@@ -1,0 +1,167 @@
+"""The unified timing engine vs. independent reference implementations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import depth, levels, lit_var, required_times
+from repro.netlist import compute_levels, renode
+from repro.timing import (
+    INF,
+    AigTimingEngine,
+    NetworkTimingEngine,
+    PrescribedArrival,
+    UnitDelay,
+)
+
+from ..aig.test_aig import random_aig
+
+
+def reference_levels(aig, pi_arrivals=None):
+    """Straight-line unit-delay forward pass, independent of the engine."""
+    lvl = [0] * aig.num_vars
+    for i, pi in enumerate(aig.pis):
+        lvl[pi] = pi_arrivals[i] if pi_arrivals else 0
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        lvl[var] = 1 + max(lvl[lit_var(f0)], lvl[lit_var(f1)])
+    return lvl
+
+
+def reference_required(aig, lvl, target):
+    req = [INF] * aig.num_vars
+    for po in aig.pos:
+        req[lit_var(po)] = min(req[lit_var(po)], float(target))
+    for var in reversed(list(aig.and_vars())):
+        if req[var] == INF:
+            continue
+        f0, f1 = aig.fanins(var)
+        for fi in (f0, f1):
+            req[lit_var(fi)] = min(req[lit_var(fi)], req[var] - 1)
+    return req
+
+
+class TestUnitEngineMatchesLegacy:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=25)
+    def test_arrivals_match_reference_and_facade(self, seed):
+        aig = random_aig(seed)
+        engine = AigTimingEngine(aig)
+        assert list(engine.arrivals()) == reference_levels(aig)
+        assert list(engine.arrivals()) == levels(aig)
+        assert all(isinstance(a, int) for a in engine.arrivals())
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=25)
+    def test_depth_matches_facade(self, seed):
+        aig = random_aig(seed)
+        assert AigTimingEngine(aig).depth() == depth(aig)
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_required_times_match_reference(self, seed):
+        aig = random_aig(seed)
+        engine = AigTimingEngine(aig)
+        lvl = reference_levels(aig)
+        ref = reference_required(aig, lvl, engine.depth())
+        got = engine.required_times()
+        assert [got[v] for v in range(aig.num_vars)] == ref
+        assert got == required_times(aig)
+
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_critical_vars_have_zero_slack(self, seed):
+        aig = random_aig(seed)
+        engine = AigTimingEngine(aig)
+        arr = engine.arrivals()
+        req = engine.required_times()
+        for var in engine.critical_vars():
+            assert req[var] == arr[var]
+            assert engine.slack(var) == 0
+
+
+class TestIncrementalEqualsFull:
+    @given(st.integers(0, 40))
+    @settings(deadline=None, max_examples=15)
+    def test_appending_extends_incrementally(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        aig = random_aig(seed)
+        engine = AigTimingEngine(aig)
+        engine.arrivals()  # full pass over the prefix
+        lits = [var * 2 for var in range(1, aig.num_vars)]
+        for _ in range(10):
+            a = rng.choice(lits) ^ rng.randint(0, 1)
+            b = rng.choice(lits) ^ rng.randint(0, 1)
+            lits.append(aig.and_(a, b))
+        fresh = AigTimingEngine(aig)
+        assert list(engine.arrivals()) == list(fresh.arrivals())
+
+    def test_invalidate_recovers(self):
+        aig = random_aig(3)
+        engine = AigTimingEngine(aig)
+        before = list(engine.arrivals())
+        engine.invalidate()
+        assert list(engine.arrivals()) == before
+
+
+class TestPrescribedArrivals:
+    def test_pi_offsets_propagate(self):
+        aig = random_aig(7)
+        offsets = {name: i for i, name in enumerate(aig.pi_names)}
+        engine = AigTimingEngine(aig, PrescribedArrival(offsets))
+        arr = engine.arrivals()
+        for i, pi in enumerate(aig.pis):
+            assert arr[pi] == i
+        ref = reference_levels(aig, pi_arrivals=list(range(aig.num_pis)))
+        assert list(arr) == ref
+
+    def test_zero_offsets_match_unit(self):
+        aig = random_aig(11)
+        zero = {name: 0 for name in aig.pi_names}
+        skewed = AigTimingEngine(aig, PrescribedArrival(zero))
+        unit = AigTimingEngine(aig, UnitDelay())
+        assert list(skewed.arrivals()) == list(unit.arrivals())
+        assert skewed.required_times() == unit.required_times()
+
+
+class TestNetworkEngine:
+    def test_levels_match_compute_levels(self):
+        aig = random_aig(5)
+        net = renode(aig, 4)
+        engine = NetworkTimingEngine(net)
+        assert dict(engine.levels()) == compute_levels(net)
+        assert engine.depth() == max(
+            engine.levels()[nid] for nid, _neg in net.pos
+        )
+
+    def test_incremental_after_mutation(self):
+        from repro.tt import TruthTable
+
+        from repro.adders.generators import ripple_carry_adder
+
+        aig = ripple_carry_adder(3)
+        net = renode(aig, 4)
+        engine = NetworkTimingEngine(net)
+        engine.levels()
+        target = next(
+            nid for nid in net.topo_order()
+            if net.nodes[nid].kind == "node" and len(net.nodes[nid].fanins) >= 2
+        )
+        node = net.nodes[target]
+        n = len(node.fanins)
+        net.set_function(
+            target, TruthTable.from_function(lambda *xs: not any(xs), n)
+        )
+        engine.invalidate(target)
+        fresh = NetworkTimingEngine(net)
+        assert dict(engine.levels()) == dict(fresh.levels())
+
+    def test_critical_nodes_zero_slack(self):
+        aig = random_aig(13)
+        net = renode(aig, 4)
+        engine = NetworkTimingEngine(net)
+        req = engine.required_times()
+        lvl = engine.levels()
+        for nid in engine.critical_nodes():
+            assert req[nid] == lvl[nid]
