@@ -6,7 +6,7 @@ standard tools (ABC reads both formats) and external AIGs can be imported.
 
 from __future__ import annotations
 
-from typing import Dict, List, TextIO
+from typing import Dict, List, TextIO, Tuple
 
 from ..sop import Cover
 from .aig import AIG, CONST0, lit_neg, lit_not, lit_var, make_lit
@@ -134,7 +134,13 @@ def write_blif(aig: AIG, fh: TextIO, model: str = "top") -> None:
 
 
 def read_blif(fh: TextIO) -> AIG:
-    """Read a combinational BLIF file (single model, ``.names`` only)."""
+    """Read a combinational BLIF file (single model, ``.names`` only).
+
+    Handles ``#`` comments, ``\\`` line continuations, and — as real
+    benchmark BLIF requires — ``.names`` blocks that reference signals
+    defined later in the file: blocks are collected in a first pass and
+    instantiated in dependency order, so file order is irrelevant.
+    """
     tokens_lines: List[List[str]] = []
     buffer = ""
     for raw in fh:
@@ -150,6 +156,7 @@ def read_blif(fh: TextIO) -> AIG:
     aig = AIG()
     signals: Dict[str, int] = {}
     outputs: List[str] = []
+    blocks: List[Tuple[List[str], str, List[str]]] = []
     i = 0
     while i < len(tokens_lines):
         toks = tokens_lines[i]
@@ -166,13 +173,45 @@ def read_blif(fh: TextIO) -> AIG:
             while j < len(tokens_lines) and not tokens_lines[j][0].startswith("."):
                 cubes.append(" ".join(tokens_lines[j]))
                 j += 1
-            signals[out] = _names_to_lit(aig, signals, inputs, cubes)
+            blocks.append((inputs, out, cubes))
             i = j - 1
         elif toks[0] in (".model", ".end"):
             pass
         else:
             raise ValueError(f"unsupported BLIF construct {toks[0]}")
         i += 1
+
+    # Second pass: instantiate each block once all its inputs exist.  For
+    # in-order files this processes the blocks in file order; out-of-order
+    # files just take extra sweeps.
+    pending = blocks
+    while pending:
+        deferred: List[Tuple[List[str], str, List[str]]] = []
+        for inputs, out, cubes in pending:
+            if all(name in signals for name in inputs):
+                signals[out] = _names_to_lit(aig, signals, inputs, cubes)
+            else:
+                deferred.append((inputs, out, cubes))
+        if len(deferred) == len(pending):
+            will_define = {out for _ins, out, _c in deferred}
+            missing = sorted(
+                {
+                    name
+                    for inputs, _out, _c in deferred
+                    for name in inputs
+                    if name not in signals and name not in will_define
+                }
+            )
+            if missing:
+                raise ValueError(
+                    "undefined signal(s): " + ", ".join(missing)
+                )
+            raise ValueError(
+                "combinational cycle among .names outputs: "
+                + ", ".join(sorted(will_define))
+            )
+        pending = deferred
+
     for name in outputs:
         if name not in signals:
             raise ValueError(f"undefined output {name}")
@@ -184,8 +223,8 @@ def _names_to_lit(
     aig: AIG, signals: Dict[str, int], inputs: List[str], cube_lines: List[str]
 ) -> int:
     for name in inputs:
-        if name not in signals:
-            raise ValueError(f"signal {name} used before definition")
+        if name not in signals:  # read_blif resolves order; defensive only
+            raise ValueError(f"undefined signal {name}")
     if not inputs:
         # Constant: a line "1" means const1, no lines means const0.
         return lit_not(CONST0) if any(l.strip() == "1" for l in cube_lines) else CONST0

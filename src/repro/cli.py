@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     python -m repro optimize circuit.aag --arrival-file arrivals.json
     python -m repro map     circuit.aag -o out.v
     python -m repro bench   --circuit C432
+    python -m repro fuzz    --seed 0 --budget 60
 
 Input formats: ASCII AIGER (.aag) and BLIF (.blif); outputs AIGER, BLIF,
 or gate-level Verilog (by extension).  ``--arrival name=t,...`` and
@@ -26,7 +27,7 @@ from typing import Callable, Dict, Optional
 from . import perf
 from .aig import AIG, depth, read_aag, read_blif, write_aag, write_blif
 from .cec import check_equivalence
-from .core import LookaheadOptimizer, lookahead_flow
+from .core import lookahead_flow, optimize_lookahead
 from .mapping import dynamic_power_uw, map_aig, mapped_delay
 from .mapping.verilog import write_verilog
 from .opt import abc_resyn2rs, dc_map_effort_high, sis_best
@@ -58,9 +59,11 @@ FLOWS: Dict[str, Callable[..., AIG]] = {
     "lookahead": lambda a, arrival_times=None: lookahead_flow(
         a, arrival_times=arrival_times
     ),
-    "lookahead-only": lambda a, arrival_times=None: LookaheadOptimizer(
-        max_rounds=12, arrival_times=arrival_times
-    ).optimize(a),
+    # optimize_lookahead context-manages the optimizer, so the worker
+    # pool is shut down when the flow finishes.
+    "lookahead-only": lambda a, arrival_times=None: optimize_lookahead(
+        a, max_rounds=12, arrival_times=arrival_times
+    ),
     "sis": _arrival_agnostic(sis_best, "sis"),
     "abc": _arrival_agnostic(abc_resyn2rs, "abc"),
     "dc": _arrival_agnostic(dc_map_effort_high, "dc"),
@@ -176,6 +179,37 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import INVARIANTS, fuzz
+
+    if args.list_checks:
+        for name in sorted(INVARIANTS):
+            print(name)
+        return 0
+    perf.reset()
+    report = fuzz(
+        seed=args.seed,
+        budget_s=args.budget,
+        max_cases=args.max_cases,
+        checks=args.check or None,
+        artifact_dir=args.artifact_dir,
+        shrink=not args.no_shrink,
+        keep_going=args.keep_going,
+    )
+    if args.profile:
+        print(perf.report(), file=sys.stderr)
+    print(report.summary())
+    if not report.ok:
+        for failure in report.failures:
+            if failure.artifact_path:
+                print(
+                    f"regression artifact: {failure.artifact_path}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import BENCHMARKS
 
@@ -238,6 +272,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--circuit")
     p_bench.add_argument("--output-dir")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the whole flow (repro.verify)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; every case is reproducible from (seed, index)",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock budget for the run (default 60)",
+    )
+    p_fuzz.add_argument(
+        "--max-cases", type=int, metavar="N",
+        help="stop after N cases even if budget remains",
+    )
+    p_fuzz.add_argument(
+        "--check", action="append", metavar="NAME",
+        help="restrict to this invariant (repeatable; see --list-checks)",
+    )
+    p_fuzz.add_argument(
+        "--list-checks", action="store_true",
+        help="print the registered invariant names and exit",
+    )
+    p_fuzz.add_argument(
+        "--artifact-dir", default="tests/regressions", metavar="DIR",
+        help="where shrunk failure artifacts are written "
+             "(default tests/regressions)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="record the raw failing circuit without ddmin shrinking",
+    )
+    p_fuzz.add_argument(
+        "--keep-going", action="store_true",
+        help="record every failure instead of stopping at the first",
+    )
+    p_fuzz.add_argument(
+        "--profile", action="store_true",
+        help="print perf telemetry (verify.* counters) after the run",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

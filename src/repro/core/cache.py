@@ -25,7 +25,7 @@ miss counts are reported through :mod:`repro.perf` under ``cache.*``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .. import perf
 from ..aig import AIG, cone_fingerprint, node_tts
@@ -42,7 +42,9 @@ class ConeCache:
         self.max_entries = max_entries
         self._spcf: Dict[Tuple, SpcfPayload] = {}
         self._tts: Dict[int, List[TruthTable]] = {}
-        self._rejected: Set[Tuple] = set()
+        # Ordered set (insertion-ordered dict keys) so eviction can drop
+        # the oldest rejection instead of forgetting all of them at once.
+        self._rejected: Dict[Tuple, None] = {}
 
     # -- SPCF payloads -----------------------------------------------------
 
@@ -75,9 +77,8 @@ class ConeCache:
         return hit
 
     def mark_rejected(self, key: Tuple) -> None:
-        if len(self._rejected) >= self.max_entries:
-            self._rejected.clear()
-        self._rejected.add(key)
+        self._evict(self._rejected)
+        self._rejected[key] = None
 
     # -- maintenance -------------------------------------------------------
 

@@ -22,9 +22,22 @@ def _make_quality(arrival_times: Optional[Dict[str, int]]):
     legacy (depth, num_ands) ordering."""
     from ..timing import AigTimingEngine, resolve_arrivals
 
+    # One delay model per flow: models are stateless, so resolving inside
+    # the closure would only rebuild the same object per candidate
+    # evaluation.
+    model = resolve_arrivals(arrival_times)
+    checked = False
+
     def _quality(aig: AIG):
-        model = resolve_arrivals(arrival_times)
-        return (AigTimingEngine(aig, model).depth(), aig.num_ands())
+        nonlocal checked
+        q = (AigTimingEngine(aig, model).depth(), aig.num_ands())
+        if __debug__ and not checked:
+            checked = True
+            fresh = AigTimingEngine(aig, resolve_arrivals(arrival_times))
+            assert q[0] == fresh.depth(), (
+                "hoisted delay model changed the quality ordering"
+            )
+        return q
 
     return _quality
 
@@ -34,6 +47,7 @@ def lookahead_flow(
     optimizer: Optional[LookaheadOptimizer] = None,
     max_iterations: int = 4,
     arrival_times: Optional[Dict[str, int]] = None,
+    verify: bool = False,
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -47,8 +61,15 @@ def lookahead_flow(
     ``arrival_times`` (PI name -> integer arrival) puts both the optimizer
     and the quality gate in the non-uniform arrival regime; when an
     explicit ``optimizer`` is passed its own ``arrival_times`` win.
+
+    ``verify=True`` equivalence-checks every accepted candidate against
+    the circuit it replaces (and therefore, transitively, against the
+    input), raising ``AssertionError`` on any miscompile — the
+    belt-and-braces guard for production runs where a wrong circuit is
+    much worse than a slow one.
     """
     from .. import perf
+    from ..cec import assert_equivalent
     from ..opt import dc_map_effort_high
 
     opt = optimizer or LookaheadOptimizer(
@@ -63,17 +84,24 @@ def lookahead_flow(
     # candidates, so rerunning it on its own output cannot do better than
     # what the quality-gate below would accept anyway.
     conventional = None
-    for _ in range(max_iterations):
-        perf.incr("flow.iterations")
-        if conventional is None:
-            with perf.timer("phase.conventional"):
-                conventional = dc_map_effort_high(current)
-        else:
-            perf.incr("flow.conventional.reused")
-        candidates = [conventional, opt.optimize(current)]
-        candidate = min(candidates, key=_quality)
-        if _quality(candidate) >= _quality(current):
-            break
-        conventional = candidate if candidate is conventional else None
-        current = candidate
+    try:
+        for _ in range(max_iterations):
+            perf.incr("flow.iterations")
+            if conventional is None:
+                with perf.timer("phase.conventional"):
+                    conventional = dc_map_effort_high(current)
+            else:
+                perf.incr("flow.conventional.reused")
+            candidates = [conventional, opt.optimize(current)]
+            candidate = min(candidates, key=_quality)
+            if _quality(candidate) >= _quality(current):
+                break
+            if verify:
+                with perf.timer("phase.verify"):
+                    assert_equivalent(current, candidate, "flow iteration")
+            conventional = candidate if candidate is conventional else None
+            current = candidate
+    finally:
+        if optimizer is None:
+            opt.close()  # the flow owns optimizers it created
     return current

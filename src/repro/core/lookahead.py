@@ -348,15 +348,17 @@ class LookaheadOptimizer:
         Each walk strategy is run as its own full round sequence (greedy
         per-round mixing of strategies traps the search in local optima);
         the best final result wins.
+
+        The worker pool (like the cone cache) persists across ``optimize``
+        calls so repeated invocations — e.g. the ``lookahead_flow``
+        iteration loop — reuse warm worker processes.  Call :meth:`close`
+        (or use the optimizer as a context manager) when done.
         """
-        try:
-            with perf.timer("optimize"):
-                results = [
-                    self._optimize_with(aig, walk_mode)
-                    for walk_mode in self.walk_modes
-                ]
-        finally:
-            self._shutdown_executor()
+        with perf.timer("optimize"):
+            results = [
+                self._optimize_with(aig, walk_mode)
+                for walk_mode in self.walk_modes
+            ]
         return min(results, key=self._quality)
 
     def _optimize_with(self, aig: AIG, walk_mode: str) -> AIG:
@@ -388,6 +390,30 @@ class LookaheadOptimizer:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; optimizer stays usable).
+
+        Without this, a lazily created ``ProcessPoolExecutor`` keeps its
+        worker processes alive until interpreter exit.  ``lookahead_flow``
+        and the CLI close the optimizers they create; long-lived callers
+        should do the same (or use ``with LookaheadOptimizer(...) as opt``).
+        """
+        self._shutdown_executor()
+
+    def __enter__(self) -> "LookaheadOptimizer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Safety net for callers that forget close(); best-effort because
+        # interpreter shutdown may have torn the pool machinery down.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- one decomposition level ---------------------------------------------------
 
@@ -438,6 +464,14 @@ class LookaheadOptimizer:
             else:
                 perf.incr("replacements.rejected")
                 self.cache.mark_rejected(key)
+        if not accepted:
+            # Nothing won: stop here rather than returning the
+            # restrashed/swept copy.  A sweep-only "improvement" from an
+            # all-rejected round would make the result depend on whether
+            # rejected cones were skipped through the negative cache —
+            # i.e. warm-cache runs would diverge from cold ones (found by
+            # repro.verify fuzzing, seed 0 case 30).
+            return None
         if self.area_recovery:
             with perf.timer("phase.sweep"):
                 rebuilt = sat_sweep(
@@ -739,29 +773,33 @@ class LookaheadOptimizer:
         """Apply replacements in fixed PO order; returns (AIG, accepted set).
 
         Iterating ``aig.pos`` (not completion order) keeps the rebuild
-        deterministic under any worker scheduling; acceptance of each
-        reconstruction is judged cone-locally by arrival level, so it does
-        not depend on which other outputs were processed.
+        deterministic under any worker scheduling.  Each reconstruction is
+        synthesized and judged in its own scratch AIG, and only the winners
+        are copied into the result: a rejected candidate must leave no
+        trace, or the output would depend on whether the cone was processed
+        at all — cache-warm runs skip known-rejected cones entirely, and
+        their results have to stay bit-identical to cold ones (found by
+        repro.verify fuzzing, seed 1 case 104).
         """
-        dest = AIG()
-        builder = ArrivalAwareBuilder(dest, self._delay_model())
-        mapping: Dict[int, int] = {0: CONST0}
-        pi_lits = []
-        for var, name in zip(aig.pis, aig.pi_names):
-            lit = dest.add_pi(name)
-            mapping[var] = lit
-            pi_lits.append(lit)
-        by_po = {po_index: entry for entry in processed for po_index in [entry[0]]}
-        new_pos: List[int] = []
-        accepted: Set[int] = set()
+        by_po = {entry[0]: entry for entry in processed}
+
+        # Phase 1: judge each reconstruction cone-locally in a scratch AIG.
+        winners: Dict[int, Tuple[AIG, int]] = {}
         for i, po_lit in enumerate(aig.pos):
             entry = by_po.get(i)
             if entry is None:
-                new_pos.append(aig.copy_cone(dest, mapping, [po_lit])[0])
                 continue
             _idx, pos_net, sigma_nid, neg_net = entry
-            pos_lits = synthesize_into(builder, pos_net, pi_lits)
-            neg_lits = synthesize_into(builder, neg_net, pi_lits)
+            scratch = AIG()
+            builder = ArrivalAwareBuilder(scratch, self._delay_model())
+            smap: Dict[int, int] = {0: CONST0}
+            spi_lits = []
+            for var, name in zip(aig.pis, aig.pi_names):
+                lit = scratch.add_pi(name)
+                smap[var] = lit
+                spi_lits.append(lit)
+            pos_lits = synthesize_into(builder, pos_net, spi_lits)
+            neg_lits = synthesize_into(builder, neg_net, spi_lits)
             root_p, neg_p = pos_net.pos[0]
             y_pos = pos_lits[root_p]
             if neg_p:
@@ -772,13 +810,32 @@ class LookaheadOptimizer:
             if neg_n:
                 y_neg = lit_not(y_neg)
             recon = reconstruct(builder, sigma, y_pos, y_neg, self.use_rules)
-            original = aig.copy_cone(dest, mapping, [po_lit])[0]
+            original = aig.copy_cone(scratch, smap, [po_lit])[0]
             # Keep the original cone when the reconstruction did not win.
             if builder.level(recon) < builder.level(original):
-                new_pos.append(recon)
-                accepted.add(i)
-            else:
-                new_pos.append(original)
+                winners[i] = (scratch, recon)
+
+        # Phase 2: emit — accepted reconstructions and untouched cones only.
+        dest = AIG()
+        mapping: Dict[int, int] = {0: CONST0}
+        pi_lits = []
+        for var, name in zip(aig.pis, aig.pi_names):
+            lit = dest.add_pi(name)
+            mapping[var] = lit
+            pi_lits.append(lit)
+        new_pos: List[int] = []
+        accepted: Set[int] = set()
+        for i, po_lit in enumerate(aig.pos):
+            winner = winners.get(i)
+            if winner is None:
+                new_pos.append(aig.copy_cone(dest, mapping, [po_lit])[0])
+                continue
+            scratch, recon = winner
+            wmap: Dict[int, int] = {0: CONST0}
+            for svar, lit in zip(scratch.pis, pi_lits):
+                wmap[svar] = lit
+            new_pos.append(scratch.copy_cone(dest, wmap, [recon])[0])
+            accepted.add(i)
         for lit, name in zip(new_pos, aig.po_names):
             dest.add_po(lit, name)
         return dest.extract(), accepted
@@ -786,4 +843,5 @@ class LookaheadOptimizer:
 
 def optimize_lookahead(aig: AIG, **kwargs) -> AIG:
     """One-call convenience wrapper around :class:`LookaheadOptimizer`."""
-    return LookaheadOptimizer(**kwargs).optimize(aig)
+    with LookaheadOptimizer(**kwargs) as opt:
+        return opt.optimize(aig)

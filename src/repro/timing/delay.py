@@ -18,6 +18,7 @@ the traversal; the model keeps the physics.  Three models ship:
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 Number = Union[int, float]
@@ -163,19 +164,28 @@ def load_arrival_file(path: str) -> Dict[str, Number]:
     for name, value in raw.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ValueError(f"{path}: arrival of {name!r} must be a number")
+        if not math.isfinite(value):
+            raise ValueError(
+                f"{path}: arrival of {name!r} must be finite, got {value!r}"
+            )
         out[str(name)] = int(value) if float(value).is_integer() else value
     return out
 
 
 def _parse_time(text: str) -> Number:
+    # A NaN arrival poisons every downstream min/max comparison and an
+    # infinite one breaks the integer-level arithmetic, so both are
+    # rejected here rather than wherever they first misbehave.
     try:
-        return int(text)
+        value: Number = int(text)
     except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        raise ValueError(f"bad arrival time {text!r}") from None
+        try:
+            value = float(text)
+        except ValueError:
+            raise ValueError(f"bad arrival time {text!r}") from None
+    if not math.isfinite(value):
+        raise ValueError(f"arrival time must be finite, got {text!r}")
+    return value
 
 
 def resolve_arrivals(

@@ -1,0 +1,53 @@
+"""Differential fuzzing and equivalence guardrails.
+
+The adversarial correctness gate over the whole flow: seeded random
+circuits and configurations drive every public entry point — the
+optimizer, the flow, serial vs. parallel workers, warm vs. cold caches,
+the interchange formats, and the three timing engines — and a registry
+of invariants checks the results.  Failures are ddmin-shrunk to minimal
+reproducing circuits and recorded as replayable regression artifacts.
+
+Entry points: :func:`fuzz` (the driver; also ``repro fuzz`` on the CLI),
+:data:`INVARIANTS` (the checks), :func:`shrink_aig` (the shrinker), and
+:func:`replay_artifact` (the regression harness).
+"""
+
+from .invariants import (
+    EXPENSIVE,
+    INVARIANTS,
+    Case,
+    run_invariant,
+)
+from .random_circuits import random_aig, random_arrival_map, random_config
+from .shrink import rebuild_without, restrict_pos, shrink_aig
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    dump_aig,
+    fuzz,
+    load_artifact,
+    make_case,
+    replay_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "EXPENSIVE",
+    "INVARIANTS",
+    "Case",
+    "run_invariant",
+    "random_aig",
+    "random_arrival_map",
+    "random_config",
+    "rebuild_without",
+    "restrict_pos",
+    "shrink_aig",
+    "FuzzFailure",
+    "FuzzReport",
+    "dump_aig",
+    "fuzz",
+    "load_artifact",
+    "make_case",
+    "replay_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,192 @@
+"""Delta-debugging (ddmin) shrinker for failing circuits.
+
+Given an AIG on which some predicate fails, produce a (locally) minimal
+AIG that still fails it.  Reduction happens along two axes:
+
+* **outputs** — keep only a subset of the POs (most failures are
+  single-output);
+* **AND nodes** — rebuild the circuit with a subset of its AND nodes,
+  substituting each removed node by one of its fan-ins or a constant.
+  Substitution (rather than deletion) keeps every remaining reference
+  well-defined, so any subset yields a valid circuit, which is what lets
+  classic ddmin drive the search.
+
+The predicate must be self-contained — a property of the circuit itself
+(e.g. "optimize() on this circuit breaks equivalence *with it*"), not a
+comparison against the original, because the shrunk circuit computes a
+different function than the one we started from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set
+
+from .. import perf
+from ..aig import AIG, CONST0, lit_neg, lit_notif, lit_var
+
+Predicate = Callable[[AIG], bool]
+"""Returns True when the bug still reproduces on the given circuit."""
+
+
+def restrict_pos(aig: AIG, keep: Sequence[int]) -> AIG:
+    """A copy of the AIG with only the PO indices in ``keep`` (in order)."""
+    dest = AIG()
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+    lits = aig.copy_cone(dest, mapping, [aig.pos[i] for i in keep])
+    for i, lit in zip(keep, lits):
+        dest.add_po(lit, aig.po_names[i])
+    return dest
+
+
+def rebuild_without(aig: AIG, drop: Set[int]) -> AIG:
+    """Rebuild with every AND var in ``drop`` replaced by its first fan-in.
+
+    The append-only AIG is already topologically ordered, so one forward
+    sweep suffices; structural hashing re-canonicalizes the survivors.
+    """
+    dest = AIG()
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = lit_notif(mapping[lit_var(f0)], lit_neg(f0))
+        if var in drop:
+            mapping[var] = a
+        else:
+            b = lit_notif(mapping[lit_var(f1)], lit_neg(f1))
+            mapping[var] = dest.and_(a, b)
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(lit_notif(mapping[lit_var(po)], lit_neg(po)), name)
+    return dest.extract()
+
+
+def _ddmin(items: List[int], fails: Callable[[List[int]], bool]) -> List[int]:
+    """Zeller's ddmin: a minimal sublist of ``items`` on which ``fails``."""
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        subsets = [
+            items[i:i + chunk] for i in range(0, len(items), chunk)
+        ]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            complement = [
+                x for j, s in enumerate(subsets) if j != i for x in s
+            ]
+            if fails(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    if len(items) == 1 and fails([]):
+        items = []
+    return items
+
+
+def shrink_aig(
+    aig: AIG,
+    failing: Predicate,
+    max_passes: int = 4,
+) -> AIG:
+    """ddmin the circuit while ``failing`` keeps reproducing.
+
+    Alternates PO restriction, AND-node ddmin, and a greedy final polish
+    (per-node substitution by either fan-in or constant 0) until a pass
+    makes no progress.  Every candidate evaluation bumps
+    ``verify.shrink.probes`` in :mod:`repro.perf`.
+    """
+
+    def probe(candidate: AIG) -> bool:
+        perf.incr("verify.shrink.probes")
+        try:
+            return failing(candidate)
+        except Exception:
+            # The predicate wraps invariant checks that may themselves
+            # crash on degenerate circuits; a crash still reproduces.
+            return True
+
+    if not probe(aig):
+        raise ValueError("shrink_aig called with a non-failing circuit")
+
+    current = aig.extract()
+    for _ in range(max_passes):
+        before = (current.num_ands(), current.num_pos)
+
+        # Pass 1: outputs.
+        if current.num_pos > 1:
+            keep = _ddmin(
+                list(range(current.num_pos)),
+                lambda ks: bool(ks) and probe(restrict_pos(current, ks)),
+            )
+            if keep and len(keep) < current.num_pos:
+                current = restrict_pos(current, keep)
+
+        # Pass 2: ddmin over the AND nodes (drop = all minus kept).
+        ands = list(current.and_vars())
+        all_ands = set(ands)
+        kept = _ddmin(
+            ands,
+            lambda ks: probe(rebuild_without(current, all_ands - set(ks))),
+        )
+        if len(kept) < len(ands):
+            current = rebuild_without(current, all_ands - set(kept))
+
+        # Pass 3: greedy per-node substitutions ddmin cannot express.
+        # Restart the scan after every success — variable ids are only
+        # meaningful within the circuit they came from.
+        shrunk_one = True
+        while shrunk_one:
+            shrunk_one = False
+            for var in list(current.and_vars()):
+                for candidate in (
+                    rebuild_without(current, {var}),
+                    _substitute(current, var, use_fanin1=True),
+                    _substitute(current, var, constant=True),
+                ):
+                    if candidate.num_ands() < current.num_ands() and probe(
+                        candidate
+                    ):
+                        current = candidate
+                        shrunk_one = True
+                        break
+                if shrunk_one:
+                    break
+
+        if (current.num_ands(), current.num_pos) == before:
+            break
+    perf.incr("verify.shrink.completed")
+    return current
+
+
+def _substitute(
+    aig: AIG, target: int, use_fanin1: bool = False, constant: bool = False
+) -> AIG:
+    """Copy with ``target`` replaced by its second fan-in or constant 0."""
+    dest = AIG()
+    mapping: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        mapping[var] = dest.add_pi(name)
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        if var == target:
+            if constant:
+                mapping[var] = CONST0
+            else:
+                src = f1 if use_fanin1 else f0
+                mapping[var] = lit_notif(
+                    mapping[lit_var(src)], lit_neg(src)
+                )
+        else:
+            a = lit_notif(mapping[lit_var(f0)], lit_neg(f0))
+            b = lit_notif(mapping[lit_var(f1)], lit_neg(f1))
+            mapping[var] = dest.and_(a, b)
+    for po, name in zip(aig.pos, aig.po_names):
+        dest.add_po(lit_notif(mapping[lit_var(po)], lit_neg(po)), name)
+    return dest.extract()

@@ -113,7 +113,62 @@ class TestBlifEdgeCases:
 
     def test_undefined_signal_rejected(self):
         text = ".model t\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n"
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="undefined signal"):
+            read_blif(io.StringIO(text))
+
+    def test_out_of_order_names_blocks(self):
+        # Regression: real benchmark BLIF lists .names in arbitrary order;
+        # the reader must resolve forward references (here y = a AND b via
+        # an intermediate t defined *after* its use).
+        text = (
+            ".model t\n.inputs a b\n.outputs y\n"
+            ".names t y\n1 1\n"
+            ".names a b t\n11 1\n"
+            ".end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        assert po_tts(aig)[0] == TruthTable.var(0, 2) & TruthTable.var(1, 2)
+
+    def test_out_of_order_deep_chain(self):
+        # A whole chain listed backwards, with the .inputs line after a
+        # .names block for good measure.
+        text = (
+            ".model t\n.outputs y\n"
+            ".names s2 y\n1 1\n"
+            ".names s1 b s2\n11 1\n"
+            ".inputs a b\n"
+            ".names a s1\n0 1\n"
+            ".end\n"
+        )
+        aig = read_blif(io.StringIO(text))
+        expect = ~TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        assert po_tts(aig)[0] == expect
+
+    def test_out_of_order_matches_in_order(self):
+        fwd = (
+            ".model t\n.inputs a b c\n.outputs y\n"
+            ".names a b u\n11 1\n"
+            ".names u c y\n10 1\n01 1\n"
+            ".end\n"
+        )
+        rev = (
+            ".model t\n.inputs a b c\n.outputs y\n"
+            ".names u c y\n10 1\n01 1\n"
+            ".names a b u\n11 1\n"
+            ".end\n"
+        )
+        a = read_blif(io.StringIO(fwd))
+        b = read_blif(io.StringIO(rev))
+        assert po_tts(a) == po_tts(b)
+
+    def test_cyclic_names_rejected(self):
+        text = (
+            ".model t\n.inputs a\n.outputs y\n"
+            ".names q y\n1 1\n"
+            ".names y q\n1 1\n"
+            ".end\n"
+        )
+        with pytest.raises(ValueError, match="cycle"):
             read_blif(io.StringIO(text))
 
     def test_unsupported_construct_rejected(self):

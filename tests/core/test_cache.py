@@ -39,6 +39,21 @@ class TestConeCacheUnit:
         assert cache.get_spcf((9,)) is not None
         assert cache.get_spcf((0,)) is None
 
+    def test_rejected_fifo_eviction(self):
+        # Regression: a full rejected set must FIFO-evict one entry at a
+        # time, not discard every negative-cache entry wholesale.
+        cache = ConeCache(max_entries=4)
+        for fp in range(4):
+            cache.mark_rejected((fp,))
+        cache.mark_rejected((99,))
+        assert cache.stats()["rejected_entries"] == 4
+        # Only the oldest rejection was forgotten; the rest survive.
+        assert not cache.is_rejected((0,))
+        assert cache.is_rejected((1,))
+        assert cache.is_rejected((2,))
+        assert cache.is_rejected((3,))
+        assert cache.is_rejected((99,))
+
     def test_clear(self):
         cache = ConeCache()
         cache.put_spcf((1,), ("sim", 3))

@@ -71,6 +71,33 @@ class TestParallelDeterminism:
         with pytest.raises(ValueError):
             perf.get_workers()
 
+    def test_executor_lifecycle_close(self):
+        # Regression: the lazily created ProcessPoolExecutor leaked worker
+        # processes with no way to shut it down; close() (and the context-
+        # manager form) must exist, kill the pool, and stay idempotent.
+        aig = ripple_carry_adder(3)
+        opt = LookaheadOptimizer(
+            workers=2, max_rounds=1, walk_modes=("target",)
+        )
+        opt.optimize(aig)
+        assert opt._executor is not None  # pool persists across calls...
+        opt.optimize(aig)
+        assert opt._executor is not None
+        opt.close()  # ...until explicitly closed
+        assert opt._executor is None
+        opt.close()  # idempotent
+
+    def test_executor_reused_across_optimize_calls(self):
+        aig = ripple_carry_adder(3)
+        with LookaheadOptimizer(
+            workers=2, max_rounds=1, walk_modes=("target",)
+        ) as opt:
+            opt.optimize(aig)
+            pool = opt._executor
+            opt.optimize(aig)
+            assert opt._executor is pool  # warm pool, not a fresh spawn
+        assert opt._executor is None  # __exit__ closed it
+
     def test_env_controls_optimizer_default(self, monkeypatch):
         # workers=None defers to REPRO_WORKERS at round time.
         monkeypatch.setenv(perf.WORKERS_ENV, "2")

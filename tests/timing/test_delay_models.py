@@ -44,6 +44,21 @@ class TestParsing:
         with pytest.raises(ValueError):
             load_arrival_file(str(path))
 
+    def test_spec_rejects_non_finite(self):
+        # Regression: "nan"/"inf" parsed as floats and a NaN arrival
+        # silently poisoned every downstream min/max comparison.
+        for bad in ("a0=nan", "a0=inf", "a0=-inf", "a0=Infinity"):
+            with pytest.raises(ValueError, match="finite"):
+                parse_arrival_spec(bad)
+
+    def test_arrival_file_rejects_non_finite(self, tmp_path):
+        # json.load happily produces NaN/Infinity; the loader must not.
+        for literal in ("NaN", "Infinity", "-Infinity"):
+            path = tmp_path / f"bad_{literal}.json"
+            path.write_text('{"a0": %s}' % literal)
+            with pytest.raises(ValueError, match="finite"):
+                load_arrival_file(str(path))
+
     def test_resolve(self):
         assert resolve_arrivals(None) is None
         assert resolve_arrivals({}) is None

@@ -1,0 +1,37 @@
+"""Replay every checked-in fuzz artifact: past bugs must stay fixed.
+
+Each ``tests/regressions/*.json`` sidecar records the invariant, the
+optimizer configuration, and a ddmin-shrunk circuit on which the flow once
+miscompiled or diverged.  ``replay_artifact`` re-runs the exact failing
+scenario; a non-None result means a fixed bug has come back.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.verify import replay_artifact
+
+REGRESSION_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "regressions"
+)
+ARTIFACTS = sorted(glob.glob(os.path.join(REGRESSION_DIR, "*.json")))
+
+
+def test_regression_corpus_is_nonempty():
+    # The corpus documents the bugs the fuzzer has caught; losing it
+    # (e.g. to an overzealous cleanup) would silently drop coverage.
+    assert ARTIFACTS, f"no fuzz artifacts found under {REGRESSION_DIR}"
+
+
+@pytest.mark.parametrize(
+    "json_path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_artifact_stays_fixed(json_path):
+    detail = replay_artifact(json_path)
+    assert detail is None, (
+        f"regression resurfaced for {os.path.basename(json_path)}: {detail}"
+    )
