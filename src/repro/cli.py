@@ -56,13 +56,13 @@ def _arrival_agnostic(fn: Callable[[AIG], AIG], name: str):
 
 
 FLOWS: Dict[str, Callable[..., AIG]] = {
-    "lookahead": lambda a, arrival_times=None: lookahead_flow(
-        a, arrival_times=arrival_times
+    "lookahead": lambda a, arrival_times=None, **kw: lookahead_flow(
+        a, arrival_times=arrival_times, **kw
     ),
     # optimize_lookahead context-manages the optimizer, so the worker
     # pool is shut down when the flow finishes.
-    "lookahead-only": lambda a, arrival_times=None: optimize_lookahead(
-        a, max_rounds=12, arrival_times=arrival_times
+    "lookahead-only": lambda a, arrival_times=None, **kw: optimize_lookahead(
+        a, max_rounds=12, arrival_times=arrival_times, **kw
     ),
     "sis": _arrival_agnostic(sis_best, "sis"),
     "abc": _arrival_agnostic(abc_resyn2rs, "abc"),
@@ -139,9 +139,19 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     aig = _read_circuit(args.input)
     arrivals = _parse_arrivals(args, aig)
     flow = FLOWS[args.flow]
+    flow_kwargs = {}
+    if args.flow.startswith("lookahead"):
+        flow_kwargs["spcf_tier"] = args.spcf_tier
+        flow_kwargs["spcf_prefilter"] = not args.no_spcf_prefilter
+    elif args.spcf_tier != "auto" or args.no_spcf_prefilter:
+        print(
+            f"warning: flow {args.flow!r} ignores --spcf-tier/"
+            "--no-spcf-prefilter",
+            file=sys.stderr,
+        )
     perf.reset()
     start = time.time()
-    optimized = flow(aig, arrival_times=arrivals)
+    optimized = flow(aig, arrival_times=arrivals, **flow_kwargs)
     elapsed = time.time() - start
     if args.profile:
         print(perf.report(), file=sys.stderr)
@@ -259,6 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, metavar="N",
         help=f"worker processes for parallel lookahead rounds "
              f"(overrides ${perf.WORKERS_ENV}; 1 = serial)",
+    )
+    p_opt.add_argument(
+        "--spcf-tier",
+        choices=("auto", "exact", "overapprox", "signature"),
+        default="auto",
+        help="SPCF kernel tier ceiling: auto degrades exact -> "
+             "overapprox -> signature by cone support size; "
+             "exact/overapprox pin the DP flavour; signature forces the "
+             "timed-simulation estimate (lookahead flows only)",
+    )
+    p_opt.add_argument(
+        "--no-spcf-prefilter", action="store_true",
+        help="disable the floating-mode arrival bound that prunes "
+             "provably-empty SPCF DP entries (results are identical; "
+             "useful for timing comparisons)",
     )
     _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)

@@ -133,3 +133,40 @@ def node_tts_cached(aig: AIG, fp: Optional[int] = None) -> List[TruthTable]:
     else:
         perf.incr("cache.tts.hit")
     return tts
+
+
+# -- worker-side SPCF DP-memo pool --------------------------------------------
+#
+# A (node, required-length) DP entry depends only on the cone structure,
+# the node truth tables, and the arrival profile — not on the queried Δ —
+# so the same table serves the whole Δ-relaxation loop, every output
+# sharing the cone, and later rounds/flow iterations that revisit an
+# unchanged cone.  Keyed alongside the ConeCache fingerprints; the memo
+# dicts are mutated in place by the DP, so a pool hit resumes exactly
+# where the previous query stopped tabulating.
+
+_LOCAL_DP: Dict[Tuple, Dict] = {}
+_LOCAL_DP_LIMIT = 64
+
+
+def dp_memo_cached(
+    fp: int, relaxed: bool, num_pis: int, model_key: Tuple = ("unit",)
+) -> Dict:
+    """Process-local shared SPCF DP memo for one (cone, kind, model).
+
+    ``num_pis`` guards against fingerprint-equal cones embedded in PI
+    spaces of different width (truth tables would not be comparable);
+    ``model_key`` separates arrival regimes, whose arrival profiles give
+    different DP tables for the same structure.
+    """
+    key = (fp, relaxed, num_pis, model_key)
+    memo = _LOCAL_DP.get(key)
+    if memo is None:
+        perf.incr("cache.dp.miss")
+        memo = {}
+        if len(_LOCAL_DP) >= _LOCAL_DP_LIMIT:
+            _LOCAL_DP.pop(next(iter(_LOCAL_DP)))
+        _LOCAL_DP[key] = memo
+    else:
+        perf.incr("cache.dp.hit")
+    return memo

@@ -48,6 +48,8 @@ def lookahead_flow(
     max_iterations: int = 4,
     arrival_times: Optional[Dict[str, int]] = None,
     verify: bool = False,
+    spcf_tier: str = "auto",
+    spcf_prefilter: bool = True,
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -62,6 +64,10 @@ def lookahead_flow(
     and the quality gate in the non-uniform arrival regime; when an
     explicit ``optimizer`` is passed its own ``arrival_times`` win.
 
+    ``spcf_tier`` / ``spcf_prefilter`` configure the tiered SPCF kernels
+    of the default optimizer (see :class:`LookaheadOptimizer`); ignored
+    when an explicit ``optimizer`` is passed.
+
     ``verify=True`` equivalence-checks every accepted candidate against
     the circuit it replaces (and therefore, transitively, against the
     input), raising ``AssertionError`` on any miscompile — the
@@ -73,7 +79,8 @@ def lookahead_flow(
     from ..opt import dc_map_effort_high
 
     opt = optimizer or LookaheadOptimizer(
-        max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times
+        max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times,
+        spcf_tier=spcf_tier, spcf_prefilter=spcf_prefilter,
     )
     _quality = _make_quality(opt.arrival_times)
     current = aig.extract()

@@ -50,7 +50,7 @@ from ..netlist import (
     synthesize_into,
 )
 from .area_recovery import sat_sweep
-from .cache import ConeCache, node_tts_cached
+from .cache import ConeCache, dp_memo_cached, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
 from .reconstruct import reconstruct
 from .reduce import primary_reduce
@@ -58,6 +58,9 @@ from .secondary import ExactCareChecker, SatCareChecker, secondary_simplify
 from ..timing import AigTimingEngine, resolve_arrivals
 from .spcf import (
     Spcf,
+    SpcfKernel,
+    SpcfTierConfig,
+    resolve_spcf_tier,
     spcf_exact_bdd,
     spcf_exact_tt,
     spcf_overapprox_tt,
@@ -78,7 +81,8 @@ BDD_MODE_PI_LIMIT = 26
 # A cone task is a plain picklable tuple:
 #
 #   (po_index, cone_aig | None, cone_net, mode, spcf_kind, sim_width, seed,
-#    walk_mode, spcf_payload | None, arrival_map | None)
+#    walk_mode, spcf_payload | None, arrival_map | None, spcf_tier,
+#    spcf_prefilter)
 #
 # ``arrival_map`` is the raw PI-name -> arrival-time dict (delay-model
 # objects stay out of the tuple so pickling never depends on model state);
@@ -88,8 +92,12 @@ BDD_MODE_PI_LIMIT = 26
 # space (``AIG.extract``), needed only when the SPCF is not already cached;
 # ``cone_net`` is the renoded cone (``Network.extract_po_cone``).  The
 # result is (po_index, ok, pos_net, sigma_nid, neg_net, spcf_payload,
-# phase_seconds) — everything a worker touches is a private copy, so the
-# pipeline is deterministic regardless of scheduling.
+# phase_seconds, perf_delta) — everything a worker touches is a private
+# copy, so the pipeline is deterministic regardless of scheduling.  The
+# perf delta carries the worker-registry counters this task bumped
+# (spcf.tier.*, prefilter hits, cache pools) back to the parent; the
+# serial path discards it, since those bumps already hit the parent
+# registry directly.
 
 
 def _serialize_spcf(spcf: Spcf) -> Optional[Tuple]:
@@ -125,6 +133,8 @@ def _cone_spcf(
     sim_width: int,
     seed: int,
     arrival_map: Optional[Dict[str, int]] = None,
+    spcf_tier: str = "auto",
+    spcf_prefilter: bool = True,
 ) -> Optional[Spcf]:
     """SPCF of a single-PO critical cone (PO index 0).
 
@@ -138,6 +148,13 @@ def _cone_spcf(
     into the non-uniform arrival regime: arrivals come from a cone-local
     timing engine and Δ is interpreted against completion times, so a late
     PI's short structural path can be the critical one.
+
+    Evaluation goes through a :class:`SpcfKernel`: one kernel serves the
+    whole Δ-relaxation loop, and its DP memo / node truth tables come from
+    the process-local pools in :mod:`repro.core.cache`, so later rounds
+    revisiting the same cone resume a warm table.  ``spcf_tier`` /
+    ``spcf_prefilter`` carry the optimizer's tier ceiling and prefilter
+    switch into the worker process.
     """
     model = resolve_arrivals(arrival_map)
     engine = AigTimingEngine(cone_aig, model)
@@ -145,30 +162,46 @@ def _cone_spcf(
     po_depth = int(lvl[lit_var(cone_aig.pos[0])])
     if po_depth == 0:
         return None
-    min_count = 1 if mode == "tt" else max(8, sim_width // 128)
+    config = SpcfTierConfig(
+        exact_limit=TT_MODE_PI_LIMIT,
+        sim_width=sim_width,
+        seed=seed,
+        prefilter=spcf_prefilter,
+        force=(
+            "signature"
+            if (mode == "sim" or spcf_tier == "signature")
+            else None
+        ),
+    )
+    tier = resolve_spcf_tier(cone_aig.num_pis, spcf_kind, config)
+    if mode == "tt" and tier == "signature":
+        # The reduce/simplify model of a tt-mode cone consumes truth
+        # tables, so degradation is capped at the over-approximate DP.
+        tier = "overapprox"
+        config.force = "overapprox"
+    tts = None
+    memo = relaxed_memo = None
+    if tier in ("exact", "overapprox"):
+        fp = cone_fingerprint(cone_aig, cone_aig.pos)
+        model_key = model.key() if model is not None else ("unit",)
+        tts = node_tts_cached(cone_aig, fp)
+        memo = dp_memo_cached(fp, False, cone_aig.num_pis, model_key)
+        relaxed_memo = dp_memo_cached(fp, True, cone_aig.num_pis, model_key)
+    kernel = SpcfKernel(
+        cone_aig,
+        kind=spcf_kind,
+        config=config,
+        arrivals=lvl,
+        pi_arrivals=_pi_arrival_ints(model, cone_aig.pi_names),
+        tts=tts,
+        memo=memo,
+        relaxed_memo=relaxed_memo,
+    )
+    min_count = 1 if tier != "signature" else max(8, sim_width // 128)
     min_delta = max(1, po_depth // 2)
-    tts = node_tts_cached(cone_aig) if mode == "tt" else None
-    timed = None
-    if mode == "sim":
-        pi_words = random_patterns(cone_aig.num_pis, sim_width, seed)
-        timed = timed_simulation(
-            cone_aig,
-            unpack_patterns(pi_words, sim_width),
-            pi_arrivals=_pi_arrival_ints(model, cone_aig.pi_names),
-        )
     fallback = None
     for delta in range(po_depth, min_delta - 1, -1):
-        if mode == "tt":
-            if spcf_kind == "overapprox":
-                tt = spcf_overapprox_tt(
-                    cone_aig, 0, delta, tts=tts, arrivals=lvl
-                )
-            else:
-                tt = spcf_exact_tt(cone_aig, 0, delta, tts=tts, arrivals=lvl)
-            spcf = Spcf("tt", tt=tt)
-        else:
-            sig = spcf_signature(cone_aig, 0, delta, None, timed=timed)
-            spcf = Spcf("sim", signature=sig)
+        spcf = kernel.spcf(0, delta)
         if spcf.count >= min_count:
             return spcf
         if fallback is None and not spcf.is_empty():
@@ -243,13 +276,17 @@ def _run_cone_task(task: Tuple) -> Tuple:
         walk_mode,
         payload,
         arrival_map,
+        spcf_tier,
+        spcf_prefilter,
     ) = task
     start = time.perf_counter()
+    before = perf.snapshot()
     phases: Dict[str, float] = {}
     if payload is None:
         t0 = time.perf_counter()
         spcf = _cone_spcf(
-            cone_aig, mode, spcf_kind, sim_width, seed, arrival_map
+            cone_aig, mode, spcf_kind, sim_width, seed, arrival_map,
+            spcf_tier, spcf_prefilter,
         )
         phases["spcf"] = time.perf_counter() - t0
         if spcf is not None and not spcf.is_empty():
@@ -258,16 +295,23 @@ def _run_cone_task(task: Tuple) -> Tuple:
         spcf = _deserialize_spcf(payload)
     if spcf is None or spcf.is_empty():
         phases["total"] = time.perf_counter() - start
-        return (po_index, False, None, None, None, None, phases)
+        counters = perf.delta(before, perf.snapshot())
+        return (po_index, False, None, None, None, None, phases, counters)
     result = _process_cone(
         cone_net, spcf, mode, sim_width, seed, walk_mode, phases,
         arrival_map,
     )
     phases["total"] = time.perf_counter() - start
+    counters = perf.delta(before, perf.snapshot())
     if result is None:
-        return (po_index, False, None, None, None, payload, phases)
+        return (
+            po_index, False, None, None, None, payload, phases, counters
+        )
     pos_net, sigma_nid, neg_net = result
-    return (po_index, True, pos_net, sigma_nid, neg_net, payload, phases)
+    return (
+        po_index, True, pos_net, sigma_nid, neg_net, payload, phases,
+        counters,
+    )
 
 
 class LookaheadOptimizer:
@@ -289,12 +333,21 @@ class LookaheadOptimizer:
         workers: Optional[int] = None,
         cache: Optional[ConeCache] = None,
         arrival_times: Optional[Dict[str, int]] = None,
+        spcf_tier: str = "auto",
+        spcf_prefilter: bool = True,
     ):
         """Configure the optimizer.
 
         ``mode``: 'tt' (exact global functions), 'sim' (signatures), or
         'auto' (by PI count).  ``spcf_kind``: 'exact' or 'overapprox'
         (truth-table modes only; simulation mode always estimates).
+        ``spcf_tier``: ceiling for the tiered SPCF kernels — 'auto'
+        (degrade by support size), 'exact'/'overapprox' (pin the DP
+        flavour where truth tables are feasible), or 'signature' (force
+        the timed-simulation estimate everywhere, which also selects sim
+        mode).  ``spcf_prefilter`` toggles the floating-mode arrival
+        bound that prunes provably-empty DP entries (sound, so results
+        are bit-identical either way; see ``repro.core.signatures``).
         ``verify``: equivalence-check every accepted round (slow; tests).
         ``workers``: worker processes for the per-output fan-out; ``None``
         defers to ``REPRO_WORKERS`` / ``os.cpu_count()`` and ``1`` forces
@@ -307,10 +360,17 @@ class LookaheadOptimizer:
         instead of raw logic depth.  ``None`` is the unit-delay model and
         reproduces the uniform-arrival flow bit-for-bit.
         """
+        if spcf_tier not in ("auto", "exact", "overapprox", "signature"):
+            raise ValueError(f"unknown SPCF tier {spcf_tier!r}")
         self.max_rounds = max_rounds
         self.k = k
         self.mode = mode
         self.spcf_kind = spcf_kind
+        if spcf_tier in ("exact", "overapprox"):
+            # A pinned DP flavour rides on the existing kind machinery.
+            self.spcf_kind = spcf_tier
+        self.spcf_tier = spcf_tier
+        self.spcf_prefilter = spcf_prefilter
         self.sim_width = sim_width
         self.seed = seed
         self.use_rules = use_rules
@@ -418,6 +478,10 @@ class LookaheadOptimizer:
     # -- one decomposition level ---------------------------------------------------
 
     def _resolve_mode(self, aig: AIG) -> str:
+        if self.spcf_tier == "signature":
+            # Forcing the signature tier implies the simulation domain
+            # end-to-end (SPCF, reduce model, and secondary checker).
+            return "sim"
         if self.mode != "auto":
             return self.mode
         if aig.num_pis <= TT_MODE_PI_LIMIT:
@@ -534,7 +598,8 @@ class LookaheadOptimizer:
                 # The model key keeps unit and prescribed-arrival runs
                 # from colliding in the shared cone cache.
                 spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
-                            self.seed, self._model_key())
+                            self.seed, self._model_key(),
+                            self.spcf_tier)
                 cfg_key = spcf_key + (walk_mode, self.k, self.use_rules)
                 if self.cache.is_rejected(cfg_key) or self.cache.is_rejected(
                     spcf_key
@@ -568,11 +633,14 @@ class LookaheadOptimizer:
                         walk_mode,
                         payload,
                         self.arrival_times,
+                        self.spcf_tier,
+                        self.spcf_prefilter,
                     )
                 )
 
         start = time.perf_counter()
-        if nworkers > 1 and len(tasks) > 1:
+        parallel = nworkers > 1 and len(tasks) > 1
+        if parallel:
             executor = self._ensure_executor(nworkers)
             results = list(executor.map(_run_cone_task, tasks))
             perf.incr("rounds.parallel")
@@ -585,12 +653,18 @@ class LookaheadOptimizer:
         )
 
         processed: List[Tuple[int, Network, int, Network]] = []
-        for po_index, ok, pos_net, sigma_nid, neg_net, payload, phases in (
-            results
-        ):
+        for (
+            po_index, ok, pos_net, sigma_nid, neg_net, payload, phases,
+            counters,
+        ) in results:
             for name, seconds in phases.items():
                 target = "workers.busy" if name == "total" else f"phase.{name}"
                 perf.add_time(target, seconds)
+            if parallel:
+                # Worker-registry counters (tiers, prefilter, cache pools)
+                # only exist in the worker process; fold the task's delta
+                # in.  Serial tasks bumped this registry directly.
+                perf.merge({"counters": counters.get("counters", {})})
             if payload is not None and po_index not in cached_payload:
                 self.cache.put_spcf(spcf_keys[po_index], payload)
             if not ok:
@@ -683,6 +757,12 @@ class LookaheadOptimizer:
         po_depth = int(aig_levels[lit_var(aig.pos[po_index])])
         if po_depth == 0:
             return None
+        if mode == "tt":
+            perf.incr(f"spcf.tier.{self.spcf_kind}")
+        elif mode == "bdd":
+            perf.incr("spcf.tier.bdd")
+        else:
+            perf.incr("spcf.tier.signature")
         # Start at the full output depth and relax: longest paths may be
         # false (statically unsensitizable), and a near-empty SPCF makes a
         # useless weight metric — the paper's Delta is a free threshold.

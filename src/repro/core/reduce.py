@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import perf
 from ..netlist import Network, critical_inputs
 from ..timing import NetworkTimingEngine
 from ..tt import TruthTable
@@ -99,6 +100,7 @@ def primary_reduce(
     steps = 0
     while current is not None and steps < max_steps:
         steps += 1
+        perf.incr("reduce.steps")
         visited.add(current)
         node = net.nodes[current]
         fanin_levels = [levels[f] for f in node.fanins]
@@ -106,6 +108,7 @@ def primary_reduce(
             net, current, fanin_levels, model, spcf_fn, window_limit
         )
         if outcome.changed:
+            perf.incr("reduce.simplified")
             windows[current] = outcome.window
             model.recompute()
             engine.invalidate(current)

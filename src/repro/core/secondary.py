@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import perf
 from ..netlist import Network, compute_levels, min_sops, node_level
 from ..netlist.encode import encode_network
 from ..sat import Solver
@@ -22,6 +23,9 @@ from .simplify import complete_function
 
 MINTERM_GRANULARITY_LIMIT = 8
 """Node supports up to this size get minterm-granular don't-care checks."""
+
+WITNESS_POOL_LIMIT = 1024
+"""Max reachability witnesses harvested from SAT models per checker."""
 
 
 class ExactCareChecker:
@@ -45,6 +49,19 @@ class SatCareChecker:
     The SAT instance encodes the primary network (which contains the Σ1
     node) and the *current* secondary network over shared PIs; a cube is
     unreachable iff ``!Σ1 AND (fan-ins of j in cube)`` is UNSAT.
+
+    Every satisfiable query yields a *witness*: the model's PI assignment
+    reaches the queried cube outside the window.  Witnesses stay valid for
+    the checker's whole lifetime — they satisfy !Σ1 against the primary
+    network, which is never mutated during secondary simplification — so
+    they are pooled and replayed through the *current* secondary network
+    before later queries go to SAT.  A witness landing inside a cube
+    proves reachability exactly where the solver would have answered
+    SAT (or timed out, which is also treated as reachable), so the
+    verdicts are identical to the SAT-only path; on circuits whose window
+    covers the random patterns (``care_sig == 0``, where the simulation
+    pre-filter never fires) this removes almost every satisfiable SAT
+    call.
     """
 
     def __init__(
@@ -62,13 +79,20 @@ class SatCareChecker:
         self.secondary_net = secondary_net
         self._solver: Optional[Solver] = None
         self._sec_vars: Dict[int, int] = {}
+        self._pi_vars: List[int] = []
         self._sigma_var = 0
         self.max_conflicts = 200
+        self._witness_pis: List[List[bool]] = []
+        self._wit_model: Optional[SignatureModel] = None
 
     def refresh(self) -> None:
         """Invalidate the encoding after a secondary-network mutation."""
         self.sig_model.recompute()
         self._solver = None
+        # Witness PI assignments survive (the primary net is immutable
+        # here), but their node values must be re-derived from the
+        # mutated secondary network.
+        self._wit_model = None
 
     def _ensure_encoding(self) -> None:
         if self._solver is not None:
@@ -79,14 +103,86 @@ class SatCareChecker:
         self._sec_vars = encode_network(
             solver, self.secondary_net, pi_vars=pi_vars
         )
+        self._pi_vars = pi_vars
         self._sigma_var = prim_vars[self.sigma_nid]
         self._solver = solver
+
+    # -- witness pool ------------------------------------------------------
+
+    def _witness_model(self) -> Optional[SignatureModel]:
+        """Witness node values over the current secondary network."""
+        if not self._witness_pis:
+            return None
+        if (
+            self._wit_model is None
+            or self._wit_model.width != len(self._witness_pis)
+        ):
+            width = len(self._witness_pis)
+            pi_words = []
+            for i in range(len(self.secondary_net.pis)):
+                word = 0
+                for w, assignment in enumerate(self._witness_pis):
+                    if assignment[i]:
+                        word |= 1 << w
+                pi_words.append(word)
+            self._wit_model = SignatureModel(
+                self.secondary_net, pi_words, width
+            )
+        return self._wit_model
+
+    def _harvest_witness(self) -> None:
+        """Pool the current SAT model's PI assignment as a witness."""
+        if len(self._witness_pis) >= WITNESS_POOL_LIMIT:
+            return
+        assignment = [
+            bool(self._solver.model_value(sv)) for sv in self._pi_vars
+        ]
+        self._witness_pis.append(assignment)
+        if self._wit_model is not None:
+            self._extend_witness_model(assignment)
+
+    def _extend_witness_model(self, assignment: List[bool]) -> None:
+        """Append one witness column to the packed model in place.
+
+        Cheaper than a full rebuild per harvest: one scalar evaluation
+        pass through the secondary network, OR-ing the new bit into every
+        node's packed word.  Constant nodes need the pass too — their
+        packed words were built against the old (narrower) mask.
+        """
+        wm = self._wit_model
+        bit = 1 << wm.width
+        wm.width += 1
+        wm.mask = (wm.mask << 1) | 1
+        vals: Dict[int, bool] = {}
+        for i, (pi, v) in enumerate(
+            zip(self.secondary_net.pis, assignment)
+        ):
+            vals[pi] = v
+            if v:
+                wm.pi_words[i] |= bit
+                wm.fns[pi] |= bit
+        for nid in self.secondary_net.topo_order():
+            node = self.secondary_net.nodes[nid]
+            m = 0
+            for j, f in enumerate(node.fanins):
+                if vals[f]:
+                    m |= 1 << j
+            v = bool(node.tt.value(m))
+            vals[nid] = v
+            if v:
+                wm.fns[nid] |= bit
 
     def cube_unreachable(self, nid: int, cube: Cube) -> bool:
         # Fast path: any care-set simulation pattern inside the cube proves
         # reachability without SAT.
         cond = self.sig_model.cube_condition(nid, cube)
         if self.care_sig & cond:
+            return False
+        # Second fast path: a pooled witness inside the cube is a known
+        # !Σ1 assignment, i.e. a reachability proof without the solver.
+        wit = self._witness_model()
+        if wit is not None and wit.cube_condition(nid, cube):
+            perf.incr("secondary.witness.hit")
             return False
         self._ensure_encoding()
         node = self.secondary_net.nodes[nid]
@@ -96,7 +192,12 @@ class SatCareChecker:
             assumptions.append(sv if pol else -sv)
         # Budgeted query: unknown is treated as reachable (no drop), which
         # is always safe.
-        result = self._solver.solve(assumptions, max_conflicts=self.max_conflicts)
+        perf.incr("secondary.sat.calls")
+        result = self._solver.solve(
+            assumptions, max_conflicts=self.max_conflicts
+        )
+        if result is True:
+            self._harvest_witness()
         return result is False
 
 

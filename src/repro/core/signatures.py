@@ -1,0 +1,245 @@
+"""Bit-parallel random-simulation signatures for the tiered SPCF kernels.
+
+The SPCF dynamic program in :mod:`repro.core.spcf` tabulates a big-int
+truth table per ``(node, budget)`` pair, which dominates wall-clock on wide
+cones.  The paper (Sec. 3.1) licenses cheap approximations — the SPCF is
+*only a guide metric* — so this module provides the evaluate-cheap layer:
+
+* seeded pattern matrices (random or exhaustive) shared across the whole
+  Δ-relaxation loop of one cone;
+* bit-parallel value signatures packed into numpy ``uint64`` words, one
+  vectorized AND/NOT per node instead of a big-int per minterm;
+* floating-mode *arrival bounds*: the per-variable maximum timed-simulation
+  arrival over the pattern set.  Under static sensitization a minterm that
+  sensitizes a ``t``-long path terminating at ``var`` always drives the
+  floating-mode arrival of ``var`` to at least ``t`` (each on-path gate has
+  a non-controlling — or itself critical — side input, so the gate's
+  arrival is never clipped below the on-path input's arrival plus one).
+  With an **exhaustive** pattern matrix the bound is therefore *sound*: if
+  ``max_arrival(var) < t`` the exact (and the over-approximate) SPCF entry
+  ``(var, t)`` is the constant-0 function, and the DP can memoize it
+  without materializing a truth table.
+
+:class:`SpcfPrefilter` packages the bound for the DP.  Exhaustive pattern
+sets keep it sound (the default for every cone small enough to be in a
+truth-table tier); past :data:`EXHAUSTIVE_PI_LIMIT` it falls back to
+:data:`DEFAULT_SIGNATURE_WIDTH` seeded random patterns and turns itself
+into a guide-only estimate, which callers must only use where the paper
+allows approximation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aig import AIG, lit_neg, lit_var, random_patterns
+
+DEFAULT_SIGNATURE_WIDTH = 256
+"""Random-pattern count for signature prefilters on wide cones."""
+
+EXHAUSTIVE_PI_LIMIT = 12
+"""Cones at or under this many PIs get exhaustive (sound) pattern sets."""
+
+
+# -- pattern matrices --------------------------------------------------------
+
+
+def random_pi_bits(num_pis: int, width: int, seed: int = 0) -> np.ndarray:
+    """Seeded random pattern matrix of shape ``(num_pis, width)``.
+
+    Uses the same generator as :func:`repro.aig.random_patterns`, so a
+    signature computed here is bit-compatible with the simulation-mode
+    SPCF path for the same ``(width, seed)``.
+    """
+    return unpack_patterns(random_patterns(num_pis, width, seed), width)
+
+
+def exhaustive_pi_bits(num_pis: int) -> np.ndarray:
+    """All ``2**num_pis`` minterms as a ``(num_pis, 2**num_pis)`` matrix.
+
+    Column ``m`` holds the bits of minterm ``m`` (variable ``i`` is bit
+    ``i``), matching the minterm order of :class:`repro.tt.TruthTable`.
+    """
+    width = 1 << num_pis
+    cols = np.arange(width, dtype=np.uint32)
+    rows = [((cols >> i) & 1).astype(bool) for i in range(num_pis)]
+    return (
+        np.array(rows) if rows else np.zeros((0, width), dtype=bool)
+    )
+
+
+def unpack_patterns(words: Sequence[int], width: int) -> np.ndarray:
+    """Packed pattern words -> bool matrix of shape ``(len(words), width)``."""
+    rows = []
+    nbytes = (width + 7) // 8
+    for w in words:
+        raw = np.frombuffer(
+            int(w).to_bytes(nbytes, "little"), dtype=np.uint8
+        )
+        bits = np.unpackbits(raw, bitorder="little")[:width]
+        rows.append(bits.astype(bool))
+    return np.array(rows) if rows else np.zeros((0, width), dtype=bool)
+
+
+def pack_signature(bits: np.ndarray) -> int:
+    """Bool vector -> packed Python-int signature (bit ``p`` = pattern p)."""
+    raw = np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+    return int.from_bytes(raw, "little")
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Bool matrix -> ``uint64`` word matrix, one row of words per row.
+
+    Each row of ``bits`` (one signal's value vector) becomes a row of
+    little-endian 64-bit words; trailing bits of the last word are zero.
+    """
+    if bits.ndim != 2:
+        raise ValueError("expected a (signals, patterns) matrix")
+    nrows, width = bits.shape
+    nwords = (width + 63) // 64
+    padded = np.zeros((nrows, nwords * 64), dtype=np.uint8)
+    padded[:, :width] = bits.astype(np.uint8)
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return packed.view(np.uint64).reshape(nrows, nwords)
+
+
+# -- bit-parallel simulation -------------------------------------------------
+
+
+def value_signatures(aig: AIG, pi_bits: np.ndarray) -> np.ndarray:
+    """Bit-parallel value words of every variable: ``(num_vars, nwords)``.
+
+    One vectorized AND/NOT over ``uint64`` words per node — the cheap
+    evaluation domain the tiered kernels prefilter with.
+    """
+    width = pi_bits.shape[1] if pi_bits.size else 0
+    nwords = max(1, (width + 63) // 64)
+    values = np.zeros((aig.num_vars, nwords), dtype=np.uint64)
+    if width:
+        packed = pack_rows(pi_bits)
+        for i, pi in enumerate(aig.pis):
+            values[pi] = packed[i]
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = values[lit_var(f0)]
+        if lit_neg(f0):
+            a = a ^ full
+        b = values[lit_var(f1)]
+        if lit_neg(f1):
+            b = b ^ full
+        values[var] = a & b
+    if width % 64:
+        # Mask the padding bits so complemented words stay canonical.
+        tail = np.uint64((1 << (width % 64)) - 1)
+        values[:, -1] &= tail
+    return values
+
+
+def timed_value_simulation(
+    aig: AIG,
+    pi_bits: np.ndarray,
+    pi_arrivals: Optional[Sequence[int]] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Floating-mode timed simulation.
+
+    ``pi_bits`` has shape (num_pis, P).  Returns per-variable boolean value
+    vectors and integer arrival-time vectors: a controlled AND output
+    arrives one level after its earliest controlling input; an uncontrolled
+    output one level after its latest input.  ``pi_arrivals`` (by PI
+    position) seeds non-uniform input arrival times; default all zero.
+    """
+    num_patterns = pi_bits.shape[1] if pi_bits.size else 0
+    values: List[np.ndarray] = [
+        np.zeros(num_patterns, dtype=bool) for _ in range(aig.num_vars)
+    ]
+    arrivals: List[np.ndarray] = [
+        np.zeros(num_patterns, dtype=np.int32) for _ in range(aig.num_vars)
+    ]
+    for i, pi in enumerate(aig.pis):
+        values[pi] = pi_bits[i]
+        if pi_arrivals is not None and pi_arrivals[i]:
+            arrivals[pi] = np.full(
+                num_patterns, pi_arrivals[i], dtype=np.int32
+            )
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        a = values[lit_var(f0)]
+        if lit_neg(f0):
+            a = ~a
+        b = values[lit_var(f1)]
+        if lit_neg(f1):
+            b = ~b
+        ta = arrivals[lit_var(f0)]
+        tb = arrivals[lit_var(f1)]
+        both_one = a & b
+        both_zero = ~a & ~b
+        arrival = np.where(
+            both_one,
+            np.maximum(ta, tb),
+            np.where(both_zero, np.minimum(ta, tb), np.where(a, tb, ta)),
+        ) + 1
+        values[var] = both_one
+        arrivals[var] = arrival.astype(np.int32)
+    return values, arrivals
+
+
+def arrival_bounds(
+    aig: AIG,
+    pi_bits: np.ndarray,
+    pi_arrivals: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-variable max floating-mode arrival over the pattern set."""
+    _values, arrivals = timed_value_simulation(aig, pi_bits, pi_arrivals)
+    return np.array(
+        [int(a.max()) if a.size else 0 for a in arrivals], dtype=np.int64
+    )
+
+
+# -- the DP prefilter --------------------------------------------------------
+
+
+class SpcfPrefilter:
+    """Timed-simulation pruning bound for the ``(node, budget)`` SPCF DP.
+
+    ``prunes(var, t)`` is True when no simulated pattern drives ``var``'s
+    floating-mode arrival to ``t`` or later.  With ``exhaustive=True`` the
+    pattern matrix covered every minterm and the verdict is a proof: the
+    DP entry is the constant-0 function.  Sampled prefilters are
+    guide-metric-only and must not be used where exactness is promised.
+    """
+
+    __slots__ = ("bounds", "exhaustive", "width")
+
+    def __init__(self, bounds: np.ndarray, exhaustive: bool, width: int):
+        self.bounds = bounds
+        self.exhaustive = exhaustive
+        self.width = width
+
+    @classmethod
+    def for_cone(
+        cls,
+        aig: AIG,
+        pi_arrivals: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        width: int = DEFAULT_SIGNATURE_WIDTH,
+        exhaustive_limit: int = EXHAUSTIVE_PI_LIMIT,
+    ) -> "SpcfPrefilter":
+        """Build the bound for one cone, exhaustive whenever affordable."""
+        if aig.num_pis <= exhaustive_limit:
+            pi_bits = exhaustive_pi_bits(aig.num_pis)
+            exhaustive = True
+        else:
+            pi_bits = random_pi_bits(aig.num_pis, width, seed)
+            exhaustive = False
+        bounds = arrival_bounds(aig, pi_bits, pi_arrivals)
+        return cls(bounds, exhaustive, pi_bits.shape[1])
+
+    def prunes(self, var: int, t: int) -> bool:
+        return int(self.bounds[var]) < t
+
+    def __repr__(self) -> str:
+        kind = "exhaustive" if self.exhaustive else f"sampled({self.width})"
+        return f"SpcfPrefilter({kind}, vars={len(self.bounds)})"

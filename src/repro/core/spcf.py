@@ -24,8 +24,29 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..aig import AIG, levels, lit_neg, lit_var, node_tts
+from .. import perf
+from ..aig import AIG, levels, lit_neg, lit_var, node_tts, random_patterns
 from ..tt import TruthTable
+from .signatures import (
+    DEFAULT_SIGNATURE_WIDTH,
+    EXHAUSTIVE_PI_LIMIT,
+    SpcfPrefilter,
+    pack_signature,
+    timed_value_simulation,
+    unpack_patterns,
+)
+
+#: Back-compat alias: the floating-mode simulation moved to
+#: :mod:`repro.core.signatures` with the tiered-kernel refactor.
+timed_simulation = timed_value_simulation
+
+SpcfMemo = Dict[Tuple[int, int], TruthTable]
+"""DP table of one cone: ``(var, required-length) -> SPCF truth table``.
+
+Entries depend only on the cone structure, the node truth tables, and the
+arrival profile — *not* on the queried Δ — so one memo serves the entire
+Δ-relaxation loop, every output sharing the cone, and later rounds (see
+:func:`repro.core.cache.dp_memo_cached`)."""
 
 
 def _sensitization_dp(
@@ -35,6 +56,8 @@ def _sensitization_dp(
     relaxed: bool,
     tts: Optional[List[TruthTable]] = None,
     arrivals: Optional[Sequence[int]] = None,
+    memo: Optional[SpcfMemo] = None,
+    prefilter: Optional[SpcfPrefilter] = None,
 ) -> TruthTable:
     """Shared DP for the exact and over-approximate SPCF truth tables.
 
@@ -46,6 +69,15 @@ def _sensitization_dp(
     model): Δ is interpreted relative to them, so with prescribed PI
     arrivals a path is Δ-critical when it *completes* at time >= Δ —
     a late PI absorbs the residual budget up to its own arrival time.
+
+    ``memo`` is a shared :data:`SpcfMemo`; passing the same dict across
+    calls reuses every previously tabulated ``(var, t)`` entry, which is
+    valid whenever ``(aig, tts, arrivals, relaxed)`` are unchanged.
+
+    ``prefilter`` short-circuits entries whose floating-mode arrival bound
+    proves them empty (see :class:`repro.core.signatures.SpcfPrefilter`);
+    with an exhaustive prefilter the result is bit-identical to the
+    unfiltered DP.
     """
     n = aig.num_pis
     if tts is None:
@@ -53,7 +85,8 @@ def _sensitization_dp(
     lvl = arrivals if arrivals is not None else levels(aig)
     const0 = TruthTable.const(False, n)
     const1 = TruthTable.const(True, n)
-    memo: Dict[Tuple[int, int], TruthTable] = {}
+    if memo is None:
+        memo = {}
 
     def lit_tt(lit: int) -> TruthTable:
         t = tts[lit_var(lit)]
@@ -79,6 +112,15 @@ def _sensitization_dp(
         if lvl[var] < t:
             # A node arriving before t cannot terminate a t-path.
             memo[(var, t)] = const0
+            stack.pop()
+            continue
+        if prefilter is not None and prefilter.prunes(var, t):
+            # No simulated pattern drives the floating-mode arrival of
+            # this node to t; with an exhaustive pattern set that is a
+            # proof the entry is empty — memoized without materializing
+            # a truth table, and the whole sub-DP below it is skipped.
+            memo[(var, t)] = const0
+            perf.incr("spcf.prefilter_hits")
             stack.pop()
             continue
         f0, f1 = aig.fanins(var)
@@ -110,11 +152,13 @@ def spcf_exact_tt(
     delta: int,
     tts: Optional[List[TruthTable]] = None,
     arrivals: Optional[Sequence[int]] = None,
+    memo: Optional[SpcfMemo] = None,
+    prefilter: Optional[SpcfPrefilter] = None,
 ) -> TruthTable:
     """Exact static-sensitization SPCF of a PO as a PI-space truth table."""
     return _sensitization_dp(
         aig, aig.pos[po_index], delta, relaxed=False, tts=tts,
-        arrivals=arrivals,
+        arrivals=arrivals, memo=memo, prefilter=prefilter,
     )
 
 
@@ -124,82 +168,17 @@ def spcf_overapprox_tt(
     delta: int,
     tts: Optional[List[TruthTable]] = None,
     arrivals: Optional[Sequence[int]] = None,
+    memo: Optional[SpcfMemo] = None,
+    prefilter: Optional[SpcfPrefilter] = None,
 ) -> TruthTable:
     """Node-based over-approximate SPCF (superset of the exact SPCF)."""
     return _sensitization_dp(
         aig, aig.pos[po_index], delta, relaxed=True, tts=tts,
-        arrivals=arrivals,
+        arrivals=arrivals, memo=memo, prefilter=prefilter,
     )
 
 
 # -- simulation-based SPCF ------------------------------------------------------
-
-
-def unpack_patterns(words: Sequence[int], width: int) -> np.ndarray:
-    """Packed pattern words -> bool matrix of shape (len(words), width)."""
-    rows = []
-    nbytes = (width + 7) // 8
-    for w in words:
-        raw = np.frombuffer(
-            int(w).to_bytes(nbytes, "little"), dtype=np.uint8
-        )
-        bits = np.unpackbits(raw, bitorder="little")[:width]
-        rows.append(bits.astype(bool))
-    return np.array(rows) if rows else np.zeros((0, width), dtype=bool)
-
-
-def pack_signature(bits: np.ndarray) -> int:
-    """Bool vector -> packed Python-int signature (bit p = pattern p)."""
-    raw = np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
-    return int.from_bytes(raw, "little")
-
-
-def timed_simulation(
-    aig: AIG,
-    pi_bits: np.ndarray,
-    pi_arrivals: Optional[Sequence[int]] = None,
-) -> Tuple[List[np.ndarray], List[np.ndarray]]:
-    """Floating-mode timed simulation.
-
-    ``pi_bits`` has shape (num_pis, P).  Returns per-variable boolean value
-    vectors and integer arrival-time vectors: a controlled AND output
-    arrives one level after its earliest controlling input; an uncontrolled
-    output one level after its latest input.  ``pi_arrivals`` (by PI
-    position) seeds non-uniform input arrival times; default all zero.
-    """
-    num_patterns = pi_bits.shape[1] if pi_bits.size else 0
-    values: List[np.ndarray] = [
-        np.zeros(num_patterns, dtype=bool) for _ in range(aig.num_vars)
-    ]
-    arrivals: List[np.ndarray] = [
-        np.zeros(num_patterns, dtype=np.int32) for _ in range(aig.num_vars)
-    ]
-    for i, pi in enumerate(aig.pis):
-        values[pi] = pi_bits[i]
-        if pi_arrivals is not None and pi_arrivals[i]:
-            arrivals[pi] = np.full(
-                num_patterns, pi_arrivals[i], dtype=np.int32
-            )
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        a = values[lit_var(f0)]
-        if lit_neg(f0):
-            a = ~a
-        b = values[lit_var(f1)]
-        if lit_neg(f1):
-            b = ~b
-        ta = arrivals[lit_var(f0)]
-        tb = arrivals[lit_var(f1)]
-        both_one = a & b
-        both_zero = ~a & ~b
-        arrival = np.where(
-            both_one,
-            np.maximum(ta, tb),
-            np.where(both_zero, np.minimum(ta, tb), np.where(a, tb, ta)),
-        ) + 1
-        values[var] = both_one
-        arrivals[var] = arrival.astype(np.int32)
-    return values, arrivals
 
 
 def spcf_signature(
@@ -306,6 +285,193 @@ def _cone_and_vars(aig: AIG, po_lit: int):
 def make_var_lit(var: int) -> int:
     """Positive literal of a variable (local helper)."""
     return var << 1
+
+
+class SpcfTierConfig:
+    """Per-cone support-size budgets for tiered SPCF evaluation.
+
+    Cones up to ``exact_limit`` PIs get the requested exact (or relaxed)
+    truth-table DP; up to ``overapprox_limit`` they degrade to the
+    over-approximate DP; anything wider falls back to the timed-simulation
+    signature estimate.  ``force`` pins every cone to one tier regardless
+    of size (the CLI's ``--spcf-tier`` knob).  ``prefilter`` attaches the
+    floating-mode arrival bound to the DP; it is only ever *applied* when
+    the cone is small enough (``exhaustive_limit``) for the bound to be a
+    proof, so truth-table tiers stay bit-identical to the unfiltered DP.
+    """
+
+    __slots__ = (
+        "exact_limit",
+        "overapprox_limit",
+        "sim_width",
+        "seed",
+        "prefilter",
+        "exhaustive_limit",
+        "force",
+    )
+
+    def __init__(
+        self,
+        exact_limit: int = 12,
+        overapprox_limit: int = 14,
+        sim_width: int = 1024,
+        seed: int = 0,
+        prefilter: bool = True,
+        exhaustive_limit: int = EXHAUSTIVE_PI_LIMIT,
+        force: Optional[str] = None,
+    ):
+        if force not in (None, "exact", "overapprox", "signature"):
+            raise ValueError(f"unknown SPCF tier {force!r}")
+        self.exact_limit = exact_limit
+        self.overapprox_limit = overapprox_limit
+        self.sim_width = sim_width
+        self.seed = seed
+        self.prefilter = prefilter
+        self.exhaustive_limit = exhaustive_limit
+        self.force = force
+
+    def key(self) -> Tuple:
+        """Hashable identity for cache keys (anything result-affecting)."""
+        return (
+            self.exact_limit,
+            self.overapprox_limit,
+            self.sim_width,
+            self.seed,
+            self.prefilter,
+            self.exhaustive_limit,
+            self.force,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SpcfTierConfig(exact<={self.exact_limit}, "
+            f"overapprox<={self.overapprox_limit}, force={self.force})"
+        )
+
+
+def resolve_spcf_tier(
+    num_pis: int, kind: str, config: SpcfTierConfig
+) -> str:
+    """Effective tier for a cone: the requested kind, or a degradation.
+
+    ``force`` pins the tier outright; otherwise the cone's support size is
+    measured against the config's budgets — exact (or the requested
+    relaxed) DP up to ``exact_limit`` PIs, over-approximate DP up to
+    ``overapprox_limit``, timed-simulation signatures beyond.
+    """
+    if config.force is not None:
+        return config.force
+    if num_pis <= config.exact_limit:
+        return kind
+    if num_pis <= config.overapprox_limit:
+        return "overapprox"
+    return "signature"
+
+
+class SpcfKernel:
+    """Tiered SPCF evaluation of one cone with shared memo/signature pools.
+
+    One kernel serves every Δ of the relaxation loop (and, through the
+    injected ``memo`` dicts, later rounds revisiting the same cone): node
+    truth tables are tabulated once, the ``(node, budget)`` DP table is
+    shared across Δ queries, the floating-mode prefilter is simulated
+    once, and the signature tier reuses a single timed simulation.
+
+    ``kind`` is the requested DP flavour (``'exact'`` / ``'overapprox'``);
+    the effective tier may degrade by support size per ``config`` and is
+    recorded in the ``spcf.tier.*`` perf counters.  The SPCF is a guide
+    metric (paper Sec. 3.1), so degraded tiers never compromise
+    correctness of the synthesized circuit; the exact tier is bit-identical
+    to the direct DP because the shared memo is Δ-independent and the
+    prefilter is only applied when exhaustive (a proof).
+    """
+
+    def __init__(
+        self,
+        aig: AIG,
+        kind: str = "exact",
+        config: Optional[SpcfTierConfig] = None,
+        arrivals: Optional[Sequence[int]] = None,
+        pi_arrivals: Optional[Sequence[int]] = None,
+        tts: Optional[List[TruthTable]] = None,
+        memo: Optional[SpcfMemo] = None,
+        relaxed_memo: Optional[SpcfMemo] = None,
+    ):
+        if kind not in ("exact", "overapprox"):
+            raise ValueError(f"unknown SPCF kind {kind!r}")
+        self.aig = aig
+        self.kind = kind
+        self.config = config if config is not None else SpcfTierConfig()
+        self.arrivals = arrivals
+        self.pi_arrivals = pi_arrivals
+        self.tier = resolve_spcf_tier(aig.num_pis, kind, self.config)
+        self._tts = tts
+        self._memo: SpcfMemo = memo if memo is not None else {}
+        self._relaxed_memo: SpcfMemo = (
+            relaxed_memo if relaxed_memo is not None else {}
+        )
+        self._prefilter: Optional[SpcfPrefilter] = None
+        self._prefilter_built = False
+        self._timed = None
+        self._counted = False
+
+    # -- lazily built shared state ----------------------------------------
+
+    def _node_tts(self) -> List[TruthTable]:
+        if self._tts is None:
+            self._tts = node_tts(self.aig)
+        return self._tts
+
+    def _dp_prefilter(self) -> Optional[SpcfPrefilter]:
+        """The arrival bound, or None when it would not be a proof."""
+        if not self._prefilter_built:
+            self._prefilter_built = True
+            cfg = self.config
+            if cfg.prefilter and self.aig.num_pis <= cfg.exhaustive_limit:
+                self._prefilter = SpcfPrefilter.for_cone(
+                    self.aig,
+                    pi_arrivals=self.pi_arrivals,
+                    seed=cfg.seed,
+                    exhaustive_limit=cfg.exhaustive_limit,
+                )
+        return self._prefilter
+
+    def _timed_sim(self):
+        if self._timed is None:
+            cfg = self.config
+            pi_bits = unpack_patterns(
+                random_patterns(self.aig.num_pis, cfg.sim_width, cfg.seed),
+                cfg.sim_width,
+            )
+            self._timed = timed_value_simulation(
+                self.aig, pi_bits, pi_arrivals=self.pi_arrivals
+            )
+        return self._timed
+
+    # -- evaluation --------------------------------------------------------
+
+    def spcf(self, po_index: int, delta: int) -> Spcf:
+        """SPCF of a PO at threshold Δ, in the resolved tier's domain."""
+        if not self._counted:
+            self._counted = True
+            perf.incr(f"spcf.tier.{self.tier}")
+        if self.tier == "signature":
+            sig = spcf_signature(
+                self.aig, po_index, delta, None, timed=self._timed_sim()
+            )
+            return Spcf("sim", signature=sig)
+        relaxed = self.tier == "overapprox"
+        tt = _sensitization_dp(
+            self.aig,
+            self.aig.pos[po_index],
+            delta,
+            relaxed=relaxed,
+            tts=self._node_tts(),
+            arrivals=self.arrivals,
+            memo=self._relaxed_memo if relaxed else self._memo,
+            prefilter=self._dp_prefilter(),
+        )
+        return Spcf("tt", tt=tt)
 
 
 class Spcf:

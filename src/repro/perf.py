@@ -120,6 +120,11 @@ class PerfRegistry:
         for pair, label in (
             (("cache.spcf.hit", "cache.spcf.miss"), "spcf cache hit rate"),
             (("cache.tts.hit", "cache.tts.miss"), "tts cache hit rate"),
+            (("cache.dp.hit", "cache.dp.miss"), "spcf DP memo hit rate"),
+            (
+                ("secondary.witness.hit", "secondary.sat.calls"),
+                "secondary witness hit rate",
+            ),
         ):
             h, m = (snap["counters"].get(k, 0) for k in pair)
             if h + m:
@@ -133,6 +138,29 @@ class PerfRegistry:
 
 PERF = PerfRegistry()
 """The process-global registry used by the optimizer and the CLI."""
+
+
+def delta(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Difference of two :meth:`PerfRegistry.snapshot` dicts.
+
+    Worker processes accumulate into their own process-global registry
+    across tasks; a task that wants to report only *its* contribution
+    snapshots the registry before and after and ships the delta back to
+    the parent, which folds it in with :func:`merge`.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        d = value - before.get("counters", {}).get(name, 0)
+        if d:
+            counters[name] = d
+    timers = {}
+    for name, entry in after.get("timers", {}).items():
+        prev = before.get("timers", {}).get(name, {"seconds": 0.0, "calls": 0})
+        ds = entry["seconds"] - prev["seconds"]
+        dc = entry.get("calls", 0) - prev.get("calls", 0)
+        if ds or dc:
+            timers[name] = {"seconds": ds, "calls": dc}
+    return {"counters": counters, "timers": timers}
 
 
 # Module-level conveniences bound to the global registry.

@@ -115,6 +115,32 @@ def cached_cold_identical(case: Case) -> Optional[str]:
     return None
 
 
+def spcf_tiers_agree(case: Case) -> Optional[str]:
+    """Exact and degraded SPCF tiers agree on the optimizer contract.
+
+    The SPCF is only a guide metric (the paper, Sec. 3.1): degrading the
+    kernel to the timed-simulation signature tier may steer the search
+    differently, but every tier's output must stay CEC-equivalent to the
+    input and pass the same never-worse depth gate.
+    """
+    with case.optimizer(workers=1) as opt:
+        exact = opt.optimize(case.aig)
+    with case.optimizer(workers=1, spcf_tier="signature") as opt:
+        degraded = opt.optimize(case.aig)
+    before = _depth(case.aig, case)
+    for tier, out in (("exact", exact), ("signature", degraded)):
+        detail = _cec_detail(case.aig, out)
+        if detail:
+            return f"{tier}-tier optimize broke equivalence — {detail}"
+        after = _depth(out, case)
+        if after > before:
+            return (
+                f"{tier}-tier optimize made depth worse: "
+                f"{before} -> {after}"
+            )
+    return None
+
+
 def flow_equivalence(case: Case) -> Optional[str]:
     """`lookahead_flow` preserves the function and the quality gate."""
     out = lookahead_flow(
@@ -231,6 +257,7 @@ INVARIANTS: Dict[str, Invariant] = {
     "optimizer_equivalence": optimizer_equivalence,
     "serial_parallel_identical": serial_parallel_identical,
     "cached_cold_identical": cached_cold_identical,
+    "spcf_tiers_agree": spcf_tiers_agree,
     "flow_equivalence": flow_equivalence,
     "aiger_roundtrip": aiger_roundtrip,
     "blif_roundtrip": blif_roundtrip,
@@ -243,6 +270,7 @@ INVARIANTS: Dict[str, Invariant] = {
 EXPENSIVE = {
     "serial_parallel_identical": 8,
     "flow_equivalence": 5,
+    "spcf_tiers_agree": 3,
     "cached_cold_identical": 2,
 }
 

@@ -1,0 +1,91 @@
+"""Golden QoR regression suite for the ``lookahead-w1`` flow.
+
+Each circuit's ``(depth, ands)`` under the bench_speed serial optimizer
+configuration is recorded in ``golden_qor.json``.  A depth above the
+golden value is a hard QoR regression and fails; area is allowed to drift
+up to 5% before the suite flags it.  Legitimate QoR changes are blessed
+with ``pytest tests/bench/test_golden_qor.py --update-golden`` (see
+``tests/regressions/README.md``).
+
+The flow configuration must stay in lockstep with
+``benchmarks/bench_speed.py::_optimizer`` — the goldens double as a check
+that the bench numbers in ``BENCH_speed.json`` stay reproducible.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.aig import depth
+from repro.bench import BENCHMARKS
+from repro.core import LookaheadOptimizer
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_qor.json")
+
+AREA_DRIFT = 0.05
+"""Relative AND-count growth tolerated before the suite flags it."""
+
+CIRCUITS = {
+    "rca2": lambda: ripple_carry_adder(2),
+    "rca4": lambda: ripple_carry_adder(4),
+    "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "adder8": lambda: ripple_carry_adder(8),
+    "adder16": lambda: ripple_carry_adder(16),
+    "adder32": lambda: ripple_carry_adder(32),
+    "C432": BENCHMARKS["C432"],
+    "rot": BENCHMARKS["rot"],
+}
+
+# rca8/rca16 are structurally the adder8/adder16 circuits; one optimized
+# result per distinct circuit keeps the suite's wall-clock flat.
+_cache = {}
+
+
+def _lookahead_w1(name):
+    """(depth, ands) under the serial bench_speed flow, memoized."""
+    aig = CIRCUITS[name]()
+    key = (aig.num_pis, aig.num_pos, aig.num_ands(), depth(aig))
+    if key not in _cache:
+        with LookaheadOptimizer(
+            max_rounds=2,
+            max_outputs_per_round=8,
+            sim_width=512,
+            workers=1,
+        ) as opt:
+            out = opt.optimize(aig)
+        _cache[key] = (depth(out), out.num_ands())
+    return _cache[key]
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+def test_golden_qor(name, update_golden):
+    got_depth, got_ands = _lookahead_w1(name)
+    if update_golden:
+        golden = _load_golden() if os.path.exists(GOLDEN_PATH) else {}
+        golden[name] = {"depth": got_depth, "ands": got_ands}
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(golden, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return
+    golden = _load_golden()
+    assert name in golden, (
+        f"{name} has no golden record; run with --update-golden"
+    )
+    want = golden[name]
+    assert got_depth <= want["depth"], (
+        f"{name}: depth regressed {want['depth']} -> {got_depth}"
+    )
+    limit = int(want["ands"] * (1 + AREA_DRIFT))
+    assert got_ands <= limit, (
+        f"{name}: area drifted >{AREA_DRIFT:.0%} "
+        f"({want['ands']} -> {got_ands}, limit {limit}); if intended, "
+        "bless with --update-golden"
+    )

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the whole test tree."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden QoR records (tests/bench/golden_qor.json) "
+        "with the current flow results instead of asserting them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should refresh golden records, not check them."""
+    return request.config.getoption("--update-golden")

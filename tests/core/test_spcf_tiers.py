@@ -1,0 +1,172 @@
+"""Property tests for the tiered SPCF kernels (repro.core.spcf/signatures).
+
+Three contracts, each over seeded random AIGs:
+
+* the exact SPCF is contained in the over-approximate SPCF (the relaxed
+  side-input condition only ever adds minterms);
+* the exhaustive floating-mode prefilter is sound against the exact DP —
+  a pruned ``(node, t)`` entry really is the constant-0 function, so the
+  filtered DP is bit-identical to the unfiltered one;
+* the signature tier is deterministic for a fixed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import levels
+from repro.core.cache import dp_memo_cached
+from repro.core.spcf import (
+    SpcfKernel,
+    SpcfTierConfig,
+    make_var_lit,
+    resolve_spcf_tier,
+    spcf_exact_tt,
+    spcf_overapprox_tt,
+    spcf_signature,
+    _sensitization_dp,
+)
+from repro.core.signatures import SpcfPrefilter
+from repro.tt import TruthTable
+from repro.verify.random_circuits import random_aig
+
+SEEDS = range(12)
+
+
+def _cases(seed, num_pis):
+    rng = random.Random(seed)
+    return random_aig(rng, num_pis=num_pis, num_gates=rng.randint(8, 40))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exact_subset_of_overapprox(seed):
+    aig = _cases(seed, num_pis=random.Random(seed ^ 99).randint(3, 8))
+    lvl = levels(aig)
+    for po_index, po_lit in enumerate(aig.pos):
+        po_depth = lvl[po_lit >> 1]
+        for delta in range(1, po_depth + 1):
+            exact = spcf_exact_tt(aig, po_index, delta)
+            over = spcf_overapprox_tt(aig, po_index, delta)
+            assert (exact & ~over).is_const0, (
+                f"seed {seed} po {po_index} delta {delta}: exact SPCF "
+                "not contained in over-approximation"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_prefilter_sound_against_exact_dp(seed):
+    aig = _cases(seed, num_pis=random.Random(seed ^ 7).randint(3, 10))
+    lvl = levels(aig)
+    prefilter = SpcfPrefilter.for_cone(aig)
+    assert prefilter.exhaustive  # <= 10 PIs: the bound is a proof
+    # Every pruned (node, t) entry must be const0 under the exact DP.
+    for var in aig.and_vars():
+        for t in range(1, lvl[var] + 1):
+            if prefilter.prunes(var, t):
+                entry = _sensitization_dp(
+                    aig, make_var_lit(var), t, relaxed=False
+                )
+                assert entry.is_const0, (
+                    f"seed {seed}: prefilter pruned ({var}, {t}) but the "
+                    "exact DP entry is non-empty (false non-critical)"
+                )
+    # And therefore the filtered DP is bit-identical to the unfiltered.
+    for po_index in range(aig.num_pos):
+        po_depth = lvl[aig.pos[po_index] >> 1]
+        for delta in range(1, po_depth + 1):
+            plain = spcf_exact_tt(aig, po_index, delta)
+            filtered = spcf_exact_tt(
+                aig, po_index, delta, prefilter=prefilter
+            )
+            assert plain == filtered
+
+
+def test_prefilter_fires_on_false_path():
+    """A statically unsensitizable long path is pruned without the DP.
+
+    ``v = (e AND chain) AND NOT e`` is always controlled early: with
+    ``e=1`` the literal ``NOT e`` controls at time 0, with ``e=0`` the
+    gate ``e AND chain`` controls at time 1 — so ``v``'s floating-mode
+    arrival bound is 2 while its structural level is 4, and the DP
+    entries ``(v, 3)`` and ``(v, 4)`` are pruned outright.
+    """
+    from repro.aig import AIG, lit_not
+
+    aig = AIG()
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    d = aig.add_pi("d")
+    e = aig.add_pi("e")
+    g1 = aig.and_(c, d)
+    g2 = aig.and_(g1, b)
+    deep = aig.and_(e, g2)
+    v = aig.and_(deep, lit_not(e))
+    aig.add_po(v, "y")
+    prefilter = SpcfPrefilter.for_cone(aig)
+    lvl = levels(aig)
+    pruned = [
+        (var, t)
+        for var in aig.and_vars()
+        for t in range(1, lvl[var] + 1)
+        if prefilter.prunes(var, t)
+    ]
+    assert (v >> 1, lvl[v >> 1]) in pruned, (
+        "expected the arrival bound to prune the false path"
+    )
+    for var, t in pruned:
+        entry = _sensitization_dp(aig, make_var_lit(var), t, relaxed=False)
+        assert entry.is_const0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_signature_deterministic(seed):
+    aig = _cases(seed, num_pis=random.Random(seed ^ 3).randint(3, 8))
+    cfg = SpcfTierConfig(force="signature", sim_width=256, seed=seed)
+    lvl = levels(aig)
+    for po_index in range(aig.num_pos):
+        po_depth = lvl[aig.pos[po_index] >> 1]
+        for delta in range(1, po_depth + 1):
+            runs = set()
+            for _ in range(2):
+                kernel = SpcfKernel(aig, config=cfg)
+                runs.add(kernel.spcf(po_index, delta).signature)
+            assert len(runs) == 1, (
+                f"seed {seed}: spcf_signature not deterministic"
+            )
+
+
+def test_tier_resolution_degrades_by_support():
+    cfg = SpcfTierConfig(exact_limit=4, overapprox_limit=6)
+    assert resolve_spcf_tier(3, "exact", cfg) == "exact"
+    assert resolve_spcf_tier(4, "overapprox", cfg) == "overapprox"
+    assert resolve_spcf_tier(5, "exact", cfg) == "overapprox"
+    assert resolve_spcf_tier(6, "exact", cfg) == "overapprox"
+    assert resolve_spcf_tier(7, "exact", cfg) == "signature"
+    forced = SpcfTierConfig(exact_limit=4, force="signature")
+    assert resolve_spcf_tier(2, "exact", forced) == "signature"
+    with pytest.raises(ValueError):
+        SpcfTierConfig(force="bogus")
+
+
+def test_kernel_exact_tier_matches_direct_dp():
+    """The kernel's shared memo across Δ queries is a pure memoization."""
+    rng = random.Random(5)
+    aig = random_aig(rng, num_pis=6, num_gates=24)
+    lvl = levels(aig)
+    kernel = SpcfKernel(aig, kind="exact")
+    for po_index in range(aig.num_pos):
+        po_depth = lvl[aig.pos[po_index] >> 1]
+        for delta in range(po_depth, 0, -1):  # relaxation order
+            via_kernel = kernel.spcf(po_index, delta).tt
+            direct = spcf_exact_tt(aig, po_index, delta)
+            assert via_kernel == direct
+
+
+def test_dp_memo_pool_shares_and_separates():
+    memo_a = dp_memo_cached(1234, False, 5)
+    memo_a[(1, 1)] = TruthTable.const(False, 5)
+    assert dp_memo_cached(1234, False, 5) is memo_a
+    assert dp_memo_cached(1234, True, 5) is not memo_a
+    assert dp_memo_cached(1234, False, 6) is not memo_a
+    assert dp_memo_cached(1234, False, 5, ("unit",)) is memo_a
+    assert dp_memo_cached(1234, False, 5, ("arrival", (1,))) is not memo_a

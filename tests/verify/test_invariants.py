@@ -62,3 +62,34 @@ class TestFlowVerifyGuard:
         monkeypatch.setattr(LookaheadOptimizer, "optimize", sabotage)
         with pytest.raises(AssertionError, match="NOT equivalent"):
             lookahead_flow(aig, max_iterations=2, verify=True)
+
+
+class TestSpcfTiersAgree:
+    def test_clean_on_random_circuit(self):
+        import random
+
+        from repro.verify.random_circuits import random_aig
+
+        rng = random.Random(3)
+        case = Case(aig=random_aig(rng), config={"max_rounds": 2})
+        assert run_invariant("spcf_tiers_agree", case) is None
+
+    def test_catches_degraded_tier_miscompile(self, monkeypatch):
+        # Sabotage only the signature tier: the invariant must notice the
+        # degraded kernel produced a non-equivalent circuit.
+        real = LookaheadOptimizer.optimize
+
+        def sabotage(self, circuit):
+            if self.spcf_tier != "signature":
+                return real(self, circuit)
+            wrong = circuit.__class__()
+            for name in circuit.pi_names:
+                wrong.add_pi(name)
+            for name in circuit.po_names:
+                wrong.add_po(0, name)
+            return wrong
+
+        monkeypatch.setattr(LookaheadOptimizer, "optimize", sabotage)
+        case = Case(aig=ripple_carry_adder(3), config={"max_rounds": 1})
+        detail = run_invariant("spcf_tiers_agree", case)
+        assert detail is not None and "signature" in detail
