@@ -143,10 +143,17 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if args.flow.startswith("lookahead"):
         flow_kwargs["spcf_tier"] = args.spcf_tier
         flow_kwargs["spcf_prefilter"] = not args.no_spcf_prefilter
-    elif args.spcf_tier != "auto" or args.no_spcf_prefilter:
+        flow_kwargs["area_recovery"] = not args.no_area_recovery
+        flow_kwargs["area_effort"] = args.area_effort
+    elif (
+        args.spcf_tier != "auto"
+        or args.no_spcf_prefilter
+        or args.no_area_recovery
+        or args.area_effort != "medium"
+    ):
         print(
             f"warning: flow {args.flow!r} ignores --spcf-tier/"
-            "--no-spcf-prefilter",
+            "--no-spcf-prefilter/--area-effort/--no-area-recovery",
             file=sys.stderr,
         )
     perf.reset()
@@ -284,6 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the floating-mode arrival bound that prunes "
              "provably-empty SPCF DP entries (results are identical; "
              "useful for timing comparisons)",
+    )
+    p_opt.add_argument(
+        "--area-effort", choices=("low", "medium", "high"),
+        default="medium",
+        help="post-round area-recovery effort: low = SAT sweeping only, "
+             "medium adds one incremental redundancy-removal pass, high "
+             "iterates both with enlarged budgets (lookahead flows only)",
+    )
+    p_opt.add_argument(
+        "--no-area-recovery", action="store_true",
+        help="skip post-round area recovery entirely "
+             "(lookahead flows only)",
     )
     _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)

@@ -16,7 +16,13 @@ from .simplify import SimplifyOutcome, simplify_node
 from .reduce import PrimaryResult, build_sigma, primary_reduce
 from .secondary import ExactCareChecker, SatCareChecker, secondary_simplify
 from .reconstruct import TEMPLATES, applicable_rules, build_ite, reconstruct
-from .area_recovery import remove_redundant_edges, sat_sweep
+from .area_recovery import (
+    AREA_EFFORTS,
+    RedundancyEngine,
+    recover_area,
+    remove_redundant_edges,
+    sat_sweep,
+)
 from .sdc import sdc_minimize
 from .analysis import OutputReport, RoundReport, analyze_round, print_round_report
 from .flow import lookahead_flow
@@ -53,6 +59,9 @@ __all__ = [
     "applicable_rules",
     "build_ite",
     "reconstruct",
+    "AREA_EFFORTS",
+    "RedundancyEngine",
+    "recover_area",
     "remove_redundant_edges",
     "sat_sweep",
     "TT_MODE_PI_LIMIT",

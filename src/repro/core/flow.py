@@ -50,6 +50,8 @@ def lookahead_flow(
     verify: bool = False,
     spcf_tier: str = "auto",
     spcf_prefilter: bool = True,
+    area_recovery: bool = True,
+    area_effort: str = "medium",
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -65,8 +67,9 @@ def lookahead_flow(
     explicit ``optimizer`` is passed its own ``arrival_times`` win.
 
     ``spcf_tier`` / ``spcf_prefilter`` configure the tiered SPCF kernels
-    of the default optimizer (see :class:`LookaheadOptimizer`); ignored
-    when an explicit ``optimizer`` is passed.
+    of the default optimizer, and ``area_recovery`` / ``area_effort`` its
+    post-round area-recovery pipeline (see :class:`LookaheadOptimizer`);
+    all four are ignored when an explicit ``optimizer`` is passed.
 
     ``verify=True`` equivalence-checks every accepted candidate against
     the circuit it replaces (and therefore, transitively, against the
@@ -81,6 +84,7 @@ def lookahead_flow(
     opt = optimizer or LookaheadOptimizer(
         max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times,
         spcf_tier=spcf_tier, spcf_prefilter=spcf_prefilter,
+        area_recovery=area_recovery, area_effort=area_effort,
     )
     _quality = _make_quality(opt.arrival_times)
     current = aig.extract()

@@ -49,7 +49,7 @@ from ..netlist import (
     renode,
     synthesize_into,
 )
-from .area_recovery import sat_sweep
+from .area_recovery import AREA_EFFORTS, recover_area
 from .cache import ConeCache, dp_memo_cached, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
 from .reconstruct import reconstruct
@@ -329,6 +329,7 @@ class LookaheadOptimizer:
         max_outputs_per_round: Optional[int] = None,
         verify: bool = False,
         area_recovery: bool = True,
+        area_effort: str = "medium",
         walk_modes: Tuple[str, ...] = ("target", "full"),
         workers: Optional[int] = None,
         cache: Optional[ConeCache] = None,
@@ -359,9 +360,17 @@ class LookaheadOptimizer:
         trees, and the acceptance metric all follow completion times
         instead of raw logic depth.  ``None`` is the unit-delay model and
         reproduces the uniform-arrival flow bit-for-bit.
+        ``area_recovery`` toggles the post-round area-recovery pipeline
+        entirely; ``area_effort`` ('low'/'medium'/'high') selects how
+        hard :func:`repro.core.recover_area` works when it is on.
         """
         if spcf_tier not in ("auto", "exact", "overapprox", "signature"):
             raise ValueError(f"unknown SPCF tier {spcf_tier!r}")
+        if area_effort not in AREA_EFFORTS:
+            raise ValueError(
+                f"unknown area effort {area_effort!r}; "
+                f"expected one of {AREA_EFFORTS}"
+            )
         self.max_rounds = max_rounds
         self.k = k
         self.mode = mode
@@ -377,6 +386,7 @@ class LookaheadOptimizer:
         self.max_outputs_per_round = max_outputs_per_round
         self.verify = verify
         self.area_recovery = area_recovery
+        self.area_effort = area_effort
         self.walk_modes = walk_modes
         self.workers = workers
         self.cache = cache if cache is not None else ConeCache()
@@ -537,9 +547,9 @@ class LookaheadOptimizer:
             # repro.verify fuzzing, seed 0 case 30).
             return None
         if self.area_recovery:
-            with perf.timer("phase.sweep"):
-                rebuilt = sat_sweep(
-                    rebuilt, seed=self.seed,
+            with perf.timer("phase.area"):
+                rebuilt = recover_area(
+                    rebuilt, effort=self.area_effort, seed=self.seed,
                     delay_model=self._delay_model(),
                 )
         return rebuilt

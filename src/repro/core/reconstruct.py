@@ -13,9 +13,9 @@ implication side-condition holds — without hard-coding an unpublished list.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from ..aig import AIG, lit_not
+from ..aig import AIG, CONST0, lit_not
 from ..cec import lits_equivalent
 from ..netlist import ArrivalAwareBuilder
 
@@ -68,22 +68,37 @@ def reconstruct(
     """Best verified realization of ``ITE(sigma, y_pos, y_neg)``.
 
     With ``use_rules=False`` (ablation) only the full Shannon form is built.
+
+    Candidates are synthesized and judged in a *scratch* AIG (the cones of
+    ``sigma``/``y_pos``/``y_neg`` copied over), and only the winning form
+    is replayed into the caller's builder: losing templates — and the full
+    Shannon base when a rule beats it — must leave no dead nodes behind,
+    the same purity contract ``LookaheadOptimizer._rebuild`` enforces for
+    whole reconstructions.  Simulation patterns and SAT verdicts depend
+    only on cone structure over the shared PIs, so the scratch judgement
+    selects exactly the template the in-place scan used to.
     """
-    base = build_ite(builder, sigma, y_pos, y_neg)
     if not use_rules:
-        return base
+        return build_ite(builder, sigma, y_pos, y_neg)
     aig = builder.aig
-    best = base
-    best_level = builder.level(base)
+    scratch = AIG()
+    smap: Dict[int, int] = {0: CONST0}
+    for var, name in zip(aig.pis, aig.pi_names):
+        smap[var] = scratch.add_pi(name)
+    s_s, s_a, s_b = aig.copy_cone(scratch, smap, [sigma, y_pos, y_neg])
+    judge = ArrivalAwareBuilder(scratch, builder.engine.model)
+    base = build_ite(judge, s_s, s_a, s_b)
+    winner: Callable[[_B, int, int, int], int] = build_ite
+    best_level = judge.level(base)
     for _name, template in TEMPLATES:
-        candidate = template(builder, sigma, y_pos, y_neg)
-        level = builder.level(candidate)
+        candidate = template(judge, s_s, s_a, s_b)
+        level = judge.level(candidate)
         if level >= best_level:
             continue
-        if lits_equivalent(aig, candidate, base, sim_width=sim_width):
-            best = candidate
+        if lits_equivalent(scratch, candidate, base, sim_width=sim_width):
+            winner = template
             best_level = level
-    return best
+    return winner(builder, sigma, y_pos, y_neg)
 
 
 def applicable_rules(

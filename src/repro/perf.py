@@ -125,6 +125,10 @@ class PerfRegistry:
                 ("secondary.witness.hit", "secondary.sat.calls"),
                 "secondary witness hit rate",
             ),
+            (
+                ("area.prefilter.hit", "area.prefilter.miss"),
+                "area prefilter hit rate",
+            ),
         ):
             h, m = (snap["counters"].get(k, 0) for k in pair)
             if h + m:

@@ -141,6 +141,39 @@ def spcf_tiers_agree(case: Case) -> Optional[str]:
     return None
 
 
+def area_recovery_equiv(case: Case) -> Optional[str]:
+    """Area recovery preserves function and never worsens depth or size.
+
+    Every effort level of :func:`repro.core.recover_area` must return a
+    CEC-equivalent circuit that is no deeper (under the case's delay
+    model) and no larger than a plain structural cleanup — sweeping,
+    redundancy removal, and the arrival guard only ever trade wall-clock
+    for area.
+    """
+    from ..core import recover_area
+
+    model = case.model()
+    before_depth = _depth(case.aig, case)
+    baseline = case.aig.extract().num_ands()
+    for effort in ("low", "medium", "high"):
+        out = recover_area(case.aig, effort=effort, delay_model=model)
+        detail = _cec_detail(case.aig, out)
+        if detail:
+            return f"recover_area({effort!r}) broke equivalence — {detail}"
+        after = _depth(out, case)
+        if after > before_depth:
+            return (
+                f"recover_area({effort!r}) made depth worse: "
+                f"{before_depth} -> {after}"
+            )
+        if out.num_ands() > baseline:
+            return (
+                f"recover_area({effort!r}) grew the circuit: "
+                f"{baseline} -> {out.num_ands()} ANDs"
+            )
+    return None
+
+
 def flow_equivalence(case: Case) -> Optional[str]:
     """`lookahead_flow` preserves the function and the quality gate."""
     out = lookahead_flow(
@@ -258,6 +291,7 @@ INVARIANTS: Dict[str, Invariant] = {
     "serial_parallel_identical": serial_parallel_identical,
     "cached_cold_identical": cached_cold_identical,
     "spcf_tiers_agree": spcf_tiers_agree,
+    "area_recovery_equiv": area_recovery_equiv,
     "flow_equivalence": flow_equivalence,
     "aiger_roundtrip": aiger_roundtrip,
     "blif_roundtrip": blif_roundtrip,

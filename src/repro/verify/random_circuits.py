@@ -99,5 +99,6 @@ def random_config(rng: random.Random) -> Dict:
         "use_rules": rng.random() < 0.8,
         "max_outputs_per_round": rng.choice((None, 1, 2)),
         "area_recovery": rng.random() < 0.7,
+        "area_effort": rng.choice(("low", "medium", "high")),
         "walk_modes": walk_modes,
     }

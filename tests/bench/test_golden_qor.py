@@ -1,11 +1,14 @@
 """Golden QoR regression suite for the ``lookahead-w1`` flow.
 
-Each circuit's ``(depth, ands)`` under the bench_speed serial optimizer
-configuration is recorded in ``golden_qor.json``.  A depth above the
-golden value is a hard QoR regression and fails; area is allowed to drift
-up to 5% before the suite flags it.  Legitimate QoR changes are blessed
-with ``pytest tests/bench/test_golden_qor.py --update-golden`` (see
-``tests/regressions/README.md``).
+Each circuit's ``(depth, ands, ands_post)`` under the bench_speed serial
+optimizer configuration is recorded in ``golden_qor.json``.  A depth
+above the golden value is a hard QoR regression and fails; area is
+allowed to drift up to 5% before the suite flags it.  ``ands_post`` — the
+AND count after a full-effort :func:`repro.core.recover_area` pass on the
+optimized output — is a hard bound like depth: redundancy the engine can
+remove deterministically must stay removed.  Legitimate QoR changes are
+blessed with ``pytest tests/bench/test_golden_qor.py --update-golden``
+(see ``tests/regressions/README.md``).
 
 The flow configuration must stay in lockstep with
 ``benchmarks/bench_speed.py::_optimizer`` — the goldens double as a check
@@ -20,7 +23,7 @@ import pytest
 from repro.adders import ripple_carry_adder
 from repro.aig import depth
 from repro.bench import BENCHMARKS
-from repro.core import LookaheadOptimizer
+from repro.core import LookaheadOptimizer, recover_area
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_qor.json")
 
@@ -45,7 +48,7 @@ _cache = {}
 
 
 def _lookahead_w1(name):
-    """(depth, ands) under the serial bench_speed flow, memoized."""
+    """(depth, ands, ands_post) under the serial bench_speed flow, memoized."""
     aig = CIRCUITS[name]()
     key = (aig.num_pis, aig.num_pos, aig.num_ands(), depth(aig))
     if key not in _cache:
@@ -56,7 +59,8 @@ def _lookahead_w1(name):
             workers=1,
         ) as opt:
             out = opt.optimize(aig)
-        _cache[key] = (depth(out), out.num_ands())
+        post = recover_area(out, effort="high")
+        _cache[key] = (depth(out), out.num_ands(), post.num_ands())
     return _cache[key]
 
 
@@ -67,10 +71,12 @@ def _load_golden():
 
 @pytest.mark.parametrize("name", sorted(CIRCUITS))
 def test_golden_qor(name, update_golden):
-    got_depth, got_ands = _lookahead_w1(name)
+    got_depth, got_ands, got_post = _lookahead_w1(name)
     if update_golden:
         golden = _load_golden() if os.path.exists(GOLDEN_PATH) else {}
-        golden[name] = {"depth": got_depth, "ands": got_ands}
+        golden[name] = {
+            "depth": got_depth, "ands": got_ands, "ands_post": got_post,
+        }
         with open(GOLDEN_PATH, "w") as fh:
             json.dump(golden, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -88,4 +94,9 @@ def test_golden_qor(name, update_golden):
         f"{name}: area drifted >{AREA_DRIFT:.0%} "
         f"({want['ands']} -> {got_ands}, limit {limit}); if intended, "
         "bless with --update-golden"
+    )
+    assert got_post <= want["ands_post"], (
+        f"{name}: post-recovery area regressed "
+        f"{want['ands_post']} -> {got_post}; if intended, bless with "
+        "--update-golden"
     )

@@ -1,0 +1,88 @@
+"""Builder purity of ``reconstruct``: losing candidates leave no nodes.
+
+The same shared-builder bug class ``LookaheadOptimizer._rebuild`` fixed
+for whole reconstructions: template candidates must be judged in a
+scratch AIG, because dead loser nodes in the caller's builder perturb
+fanout counts — and with a fanout-sensitive delay model
+(:class:`repro.timing.LoadAwareDelay`) fanout counts feed straight back
+into the arrival levels that drive acceptance decisions.
+"""
+
+from repro.aig import AIG, lit_not
+from repro.cec import lits_equivalent
+from repro.core import build_ite, reconstruct
+from repro.netlist import ArrivalAwareBuilder
+from repro.timing import LoadAwareDelay
+
+
+def test_template_win_adds_only_the_winner_nodes():
+    # ITE(s, s|x, b) == s|b: the one-AND "s|b" template beats the
+    # three-AND Shannon base, so exactly one node may be added.
+    aig = AIG()
+    s, x, b = aig.add_pi("s"), aig.add_pi("x"), aig.add_pi("b")
+    builder = ArrivalAwareBuilder(aig)
+    a = builder.or_(s, x)
+    before = aig.num_ands()
+    result = reconstruct(builder, s, a, b)
+    assert aig.num_ands() == before + 1
+    # The result is the or: functionally ITE(s, a, b).
+    check = AIG()
+    cs, cx, cb = check.add_pi("s"), check.add_pi("x"), check.add_pi("b")
+    cbuilder = ArrivalAwareBuilder(check)
+    ca = cbuilder.or_(cs, cx)
+    ite = build_ite(cbuilder, cs, ca, cb)
+    want = cbuilder.or_(cs, cb)
+    assert lits_equivalent(check, ite, want)
+
+
+def test_base_win_matches_ablation_node_count():
+    # Independent s/a/b: no template is valid, the Shannon base wins, and
+    # the rules path must add exactly the nodes the ablation path adds.
+    def build(use_rules):
+        aig = AIG()
+        s, a, b = aig.add_pi("s"), aig.add_pi("a"), aig.add_pi("b")
+        builder = ArrivalAwareBuilder(aig)
+        before = aig.num_ands()
+        result = reconstruct(builder, s, a, b, use_rules=use_rules)
+        return aig.num_ands() - before, aig, result
+
+    added_rules, aig_r, res_r = build(True)
+    added_base, aig_b, res_b = build(False)
+    assert added_rules == added_base == 3  # s&a, !s&b, or
+
+
+def test_purity_under_fanout_sensitive_model():
+    # Under LoadAwareDelay dead loser nodes would inflate fanout counts
+    # and change arrival levels; with scratch judging the builder's AIG
+    # holds only the winner, so the result stays functionally right.
+    aig = AIG()
+    s, x, b = aig.add_pi("s"), aig.add_pi("x"), aig.add_pi("b")
+    builder = ArrivalAwareBuilder(aig, LoadAwareDelay())
+    a = builder.or_(s, x)
+    before = aig.num_ands()
+    result = reconstruct(builder, s, a, b)
+    base = build_ite(builder, s, a, b)
+    assert lits_equivalent(aig, result, base)
+    # No loser templates survive in the builder: only the winner and the
+    # reference base built above.
+    assert aig.num_ands() <= before + 1 + 3
+
+
+def test_reconstruct_result_always_equivalent_to_ite():
+    # A spread of implication structures between s, a, b: whatever wins,
+    # the returned literal must realize ITE(s, a, b).
+    recipes = [
+        lambda bld, s, x, b: (s, bld.or_(s, x), b),      # s -> a
+        lambda bld, s, x, b: (s, bld.and_(s, x), b),     # a -> s
+        lambda bld, s, x, b: (s, x, bld.or_(lit_not(s), x)),  # !s -> b
+        lambda bld, s, x, b: (s, x, b),                  # independent
+        lambda bld, s, x, b: (s, b, b),                  # a == b
+    ]
+    for i, recipe in enumerate(recipes):
+        aig = AIG()
+        s, x, b0 = aig.add_pi("s"), aig.add_pi("x"), aig.add_pi("b")
+        builder = ArrivalAwareBuilder(aig)
+        sigma, a, b = recipe(builder, s, x, b0)
+        result = reconstruct(builder, sigma, a, b)
+        base = build_ite(builder, sigma, a, b)
+        assert lits_equivalent(aig, result, base), f"recipe {i}"
