@@ -1,10 +1,14 @@
 """Speed regression bench: wall-clock trajectory of the lookahead optimizer.
 
 Times the per-output lookahead rounds on the Table-1 adders and two
-Table-2 circuits, once serial (workers=1) and once parallel (workers from
-``REPRO_WORKERS`` or 4), asserts the two produce bit-identical AIGs, and
-writes schema-stable JSON rows ``{circuit, flow, seconds, depth, ands}``
-to ``BENCH_speed.json`` so successive PRs can track the perf trajectory.
+Table-2 circuits, once serial (workers=1), once parallel (workers from
+``REPRO_WORKERS`` or 4), and once serial with SAT portfolio racing
+(``--sat-portfolio race``), asserts the parallel flow produces the
+bit-identical AIG and the race flow the identical depth/ANDs (racing may
+settle budget-limited SAT queries the single config left UNKNOWN, so
+bit-identity is deliberately not required — see DESIGN 3.19), and writes
+schema-stable JSON rows ``{circuit, flow, seconds, depth, ands}`` to
+``BENCH_speed.json`` so successive PRs can track the perf trajectory.
 
 Run standalone:  python benchmarks/bench_speed.py [--quick] [-o OUT.json]
 Run via pytest:  pytest benchmarks/bench_speed.py -m slow -s
@@ -50,9 +54,9 @@ def _circuits() -> Dict[str, Callable[[], AIG]]:
     return table
 
 
-def _optimizer(workers: int) -> LookaheadOptimizer:
+def _optimizer(workers: int, sat_portfolio: str = "off") -> LookaheadOptimizer:
     """Bounded-effort optimizer so the bench measures the hot path, not
-    the search budget; both flows use identical settings.  The default
+    the search budget; all flows use identical settings.  The default
     two walk strategies are kept — the second strategy's rounds revisit
     the same cones, which is where the SPCF cache earns its keep."""
     return LookaheadOptimizer(
@@ -60,6 +64,7 @@ def _optimizer(workers: int) -> LookaheadOptimizer:
         max_outputs_per_round=8,
         sim_width=512,
         workers=workers,
+        sat_portfolio=sat_portfolio,
     )
 
 
@@ -78,23 +83,29 @@ def _parallel_workers() -> int:
 
 def run_bench(quick: bool = False, verbose: bool = True) -> List[dict]:
     """Time each circuit under the serial and parallel flows -> JSON rows."""
+    from repro.sat.portfolio import GLOBAL_UNSAT_CACHE
+
     rows: List[dict] = []
     nworkers = _parallel_workers()
-    flows = [("lookahead-w1", 1)]
+    flows = [("lookahead-w1", 1, "off")]
     if nworkers > 1:
-        flows.append((f"lookahead-w{nworkers}", nworkers))
+        flows.append((f"lookahead-w{nworkers}", nworkers, "off"))
+    flows.append(("lookahead-w1-race", 1, "race"))
     for name, gen in _circuits().items():
         if quick and name not in QUICK_CIRCUITS:
             continue
         aig = gen()
         outputs = {}
-        for flow_name, workers in flows:
+        qor = {}
+        for flow_name, workers, sat_portfolio in flows:
             perf.reset()
-            opt = _optimizer(workers)
+            GLOBAL_UNSAT_CACHE.clear()  # every flow starts cold
+            opt = _optimizer(workers, sat_portfolio)
             start = time.perf_counter()
             optimized = opt.optimize(aig)
             seconds = time.perf_counter() - start
             outputs[flow_name] = _dump(optimized)
+            qor[flow_name] = (depth(optimized), optimized.num_ands())
             rows.append(
                 {
                     "circuit": name,
@@ -107,14 +118,22 @@ def run_bench(quick: bool = False, verbose: bool = True) -> List[dict]:
             if verbose:
                 hit_rate = perf.ratio("cache.spcf.hit", "cache.spcf.miss")
                 print(
-                    f"{name:10s} {flow_name:14s} {seconds:8.2f}s "
+                    f"{name:10s} {flow_name:17s} {seconds:8.2f}s "
                     f"depth {depth(optimized):3d} "
                     f"ands {optimized.num_ands():5d} "
                     f"spcf-hits {hit_rate:5.1%}"
                 )
         reference = outputs[flows[0][0]]
         for flow_name, dumped in outputs.items():
-            if dumped != reference:
+            if flow_name.endswith("-race"):
+                # Racing may settle budget-limited queries differently;
+                # the contract is identical QoR, not identical structure.
+                if qor[flow_name] != qor[flows[0][0]]:
+                    raise AssertionError(
+                        f"{name}: {flow_name} QoR {qor[flow_name]} differs "
+                        f"from serial {qor[flows[0][0]]}"
+                    )
+            elif dumped != reference:
                 raise AssertionError(
                     f"{name}: {flow_name} output differs from serial result"
                 )
@@ -122,8 +141,21 @@ def run_bench(quick: bool = False, verbose: bool = True) -> List[dict]:
 
 
 def write_rows(rows: List[dict], path: str) -> None:
+    """Replace matching (circuit, flow) rows in ``path``; keep the rest.
+
+    Same merge semantics as bench_area_recovery.py — both benches share
+    one output file, so a full rewrite here would drop the area rows.
+    """
+    existing: List[dict] = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+    fresh = {(r["circuit"], r["flow"]) for r in rows}
+    merged = [
+        r for r in existing if (r["circuit"], r["flow"]) not in fresh
+    ] + rows
     with open(path, "w") as fh:
-        json.dump(rows, fh, indent=2)
+        json.dump(merged, fh, indent=2)
         fh.write("\n")
 
 

@@ -145,15 +145,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         flow_kwargs["spcf_prefilter"] = not args.no_spcf_prefilter
         flow_kwargs["area_recovery"] = not args.no_area_recovery
         flow_kwargs["area_effort"] = args.area_effort
+        flow_kwargs["sat_portfolio"] = args.sat_portfolio
     elif (
         args.spcf_tier != "auto"
         or args.no_spcf_prefilter
         or args.no_area_recovery
         or args.area_effort != "medium"
+        or args.sat_portfolio != "off"
     ):
         print(
             f"warning: flow {args.flow!r} ignores --spcf-tier/"
-            "--no-spcf-prefilter/--area-effort/--no-area-recovery",
+            "--no-spcf-prefilter/--area-effort/--no-area-recovery/"
+            "--sat-portfolio",
             file=sys.stderr,
         )
     perf.reset()
@@ -303,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-area-recovery", action="store_true",
         help="skip post-round area recovery entirely "
              "(lookahead flows only)",
+    )
+    p_opt.add_argument(
+        "--sat-portfolio", choices=("off", "sprint", "race"),
+        default="off",
+        help="race diversified solver configs on SAT-bound care and "
+             "redundancy queries: sprint tries a small conflict budget "
+             "on the primary config before escalating, race round-robins "
+             "the whole portfolio; off reproduces the single-config flow "
+             "bit-for-bit (lookahead flows only)",
     )
     _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)

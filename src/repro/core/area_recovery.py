@@ -21,12 +21,15 @@ lookahead optimizer calls it once per accepted round.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from .. import perf
+from ..sat import Solver
+from ..sat.portfolio import PortfolioRunner, PortfolioSpec, resolve_portfolio
 from ..aig import (
     AIG,
     CONST0,
@@ -102,7 +105,9 @@ def sat_sweep(
         enc.solver.reset()
         x = enc.add_xor(s1, s2)
         perf.incr("area.sweep.queries")
+        start = time.perf_counter()
         result = enc.solver.solve([x], max_conflicts=max_conflicts)
+        perf.observe("sat.query.sweep", time.perf_counter() - start)
         enc.solver.reset()
         return result is False
 
@@ -220,11 +225,14 @@ class RedundancyEngine:
         seed: int = 1,
         max_conflicts: int = 300,
         delay_model=None,
+        sat_portfolio: PortfolioSpec = None,
     ):
         self.aig = aig
         self.max_checks = max_checks
         self.max_conflicts = max_conflicts
         self.delay_model = delay_model
+        self.portfolio = resolve_portfolio(sat_portfolio)
+        self._runner: Optional[PortfolioRunner] = None
         #: var -> replacement literal (an equivalence; targets always have
         #: smaller var ids, so chains terminate).
         self.replacement: Dict[int, int] = {}
@@ -269,11 +277,15 @@ class RedundancyEngine:
         diff = self._lit_words(keep) & ~self._lit_words(drop) & self._valid
         return bool(diff.any())
 
-    def _harvest_witness(self) -> None:
-        """Fold the solver's counterexample into the prefilter matrix."""
+    def _harvest_witness(self, solver: Solver) -> None:
+        """Fold a solver's counterexample into the prefilter matrix.
+
+        ``solver`` is whichever solver produced the SAT model — the
+        single persistent encoding, or the winning portfolio racer — so
+        witnesses from any configuration sharpen the shared prefilter.
+        """
         if self.aig.num_pis == 0:
             return
-        solver = self._enc.solver
         column = [
             solver.model_value(self._var_map[pi]) or False
             for pi in self.aig.pis
@@ -292,13 +304,44 @@ class RedundancyEngine:
 
     # -- the SAT oracle ------------------------------------------------------
 
+    def _ensure_runner(self) -> PortfolioRunner:
+        if self._runner is None:
+
+            def build(config) -> Solver:
+                enc = AigCnf(Solver(config))
+                # Identical clause streams give every racer the same
+                # variable numbering, so one map serves them all.
+                self._var_map = enc.encode(self.aig)
+                return enc.solver
+
+            self._runner = PortfolioRunner(self.portfolio, build)
+            self._runner.solver(0)  # materialize the variable map
+        return self._runner
+
     def _sat_redundant(self, keep: int, drop: int) -> bool:
         """Bounded proof of ``keep -> drop``; unknown keeps the edge."""
+        self.checks += 1
+        perf.incr("area.redundancy.queries")
+        if self.portfolio.mode != "off":
+            runner = self._ensure_runner()
+            assumptions = [
+                AigCnf._sat_lit(self._var_map, keep),
+                -AigCnf._sat_lit(self._var_map, drop),
+            ]
+            start = time.perf_counter()
+            result = runner.solve(
+                assumptions, baseline_conflicts=self.max_conflicts
+            )
+            perf.observe("sat.query.redundancy", time.perf_counter() - start)
+            if result is True:
+                self._harvest_witness(runner.winner)
+            elif result is None:
+                perf.incr("area.redundancy.unknown")
+            return result is False
         if self._enc is None:
             self._enc = AigCnf()
             self._var_map = self._enc.encode(self.aig)
-        self.checks += 1
-        perf.incr("area.redundancy.queries")
+        start = time.perf_counter()
         result = self._enc.solver.solve(
             [
                 self._enc.lit(self._var_map, keep),
@@ -306,8 +349,9 @@ class RedundancyEngine:
             ],
             max_conflicts=self.max_conflicts,
         )
+        perf.observe("sat.query.redundancy", time.perf_counter() - start)
         if result is True:
-            self._harvest_witness()
+            self._harvest_witness(self._enc.solver)
         elif result is None:
             perf.incr("area.redundancy.unknown")
         return result is False
@@ -410,6 +454,7 @@ def remove_redundant_edges(
     seed: int = 1,
     max_conflicts: int = 300,
     delay_model=None,
+    sat_portfolio: PortfolioSpec = None,
 ) -> AIG:
     """Drop AND edges whose stuck-at-1 fault is untestable.
 
@@ -429,6 +474,7 @@ def remove_redundant_edges(
         seed=seed,
         max_conflicts=max_conflicts,
         delay_model=delay_model,
+        sat_portfolio=sat_portfolio,
     ).run()
 
 
@@ -437,6 +483,7 @@ def recover_area(
     effort: str = "medium",
     seed: int = 0,
     delay_model=None,
+    sat_portfolio: PortfolioSpec = None,
 ) -> AIG:
     """The post-reconstruction area-recovery pipeline, by effort level.
 
@@ -460,7 +507,8 @@ def recover_area(
             return current
         if effort == "medium":
             return remove_redundant_edges(
-                current, seed=seed + 1, delay_model=delay_model
+                current, seed=seed + 1, delay_model=delay_model,
+                sat_portfolio=sat_portfolio,
             )
         for _ in range(4):
             before = current.num_ands()
@@ -471,6 +519,7 @@ def recover_area(
                 seed=seed + 1,
                 max_conflicts=1000,
                 delay_model=delay_model,
+                sat_portfolio=sat_portfolio,
             )
             current = sat_sweep(
                 current,

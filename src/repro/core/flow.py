@@ -52,6 +52,7 @@ def lookahead_flow(
     spcf_prefilter: bool = True,
     area_recovery: bool = True,
     area_effort: str = "medium",
+    sat_portfolio: str = "off",
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -67,9 +68,11 @@ def lookahead_flow(
     explicit ``optimizer`` is passed its own ``arrival_times`` win.
 
     ``spcf_tier`` / ``spcf_prefilter`` configure the tiered SPCF kernels
-    of the default optimizer, and ``area_recovery`` / ``area_effort`` its
-    post-round area-recovery pipeline (see :class:`LookaheadOptimizer`);
-    all four are ignored when an explicit ``optimizer`` is passed.
+    of the default optimizer, ``area_recovery`` / ``area_effort`` its
+    post-round area-recovery pipeline, and ``sat_portfolio`` the solver
+    portfolio racing its SAT-bound care and redundancy queries (see
+    :class:`LookaheadOptimizer` and :mod:`repro.sat.portfolio`); all five
+    are ignored when an explicit ``optimizer`` is passed.
 
     ``verify=True`` equivalence-checks every accepted candidate against
     the circuit it replaces (and therefore, transitively, against the
@@ -85,6 +88,7 @@ def lookahead_flow(
         max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times,
         spcf_tier=spcf_tier, spcf_prefilter=spcf_prefilter,
         area_recovery=area_recovery, area_effort=area_effort,
+        sat_portfolio=sat_portfolio,
     )
     _quality = _make_quality(opt.arrival_times)
     current = aig.extract()

@@ -49,6 +49,7 @@ from ..netlist import (
     renode,
     synthesize_into,
 )
+from ..sat.portfolio import MODES as PORTFOLIO_MODES
 from .area_recovery import AREA_EFFORTS, recover_area
 from .cache import ConeCache, dp_memo_cached, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
@@ -82,7 +83,7 @@ BDD_MODE_PI_LIMIT = 26
 #
 #   (po_index, cone_aig | None, cone_net, mode, spcf_kind, sim_width, seed,
 #    walk_mode, spcf_payload | None, arrival_map | None, spcf_tier,
-#    spcf_prefilter)
+#    spcf_prefilter, sat_portfolio)
 #
 # ``arrival_map`` is the raw PI-name -> arrival-time dict (delay-model
 # objects stay out of the tuple so pickling never depends on model state);
@@ -135,6 +136,7 @@ def _cone_spcf(
     arrival_map: Optional[Dict[str, int]] = None,
     spcf_tier: str = "auto",
     spcf_prefilter: bool = True,
+    sat_portfolio: str = "off",
 ) -> Optional[Spcf]:
     """SPCF of a single-PO critical cone (PO index 0).
 
@@ -172,6 +174,7 @@ def _cone_spcf(
             if (mode == "sim" or spcf_tier == "signature")
             else None
         ),
+        sat_portfolio=sat_portfolio,
     )
     tier = resolve_spcf_tier(cone_aig.num_pis, spcf_kind, config)
     if mode == "tt" and tier == "signature":
@@ -218,6 +221,7 @@ def _process_cone(
     walk_mode: str,
     phases: Dict[str, float],
     arrival_map: Optional[Dict[str, int]] = None,
+    sat_portfolio: str = "off",
 ) -> Optional[Tuple[Network, int, Network]]:
     """Primary reduce + secondary simplify on a standalone cone network."""
     pos_net = cone_net
@@ -247,6 +251,7 @@ def _process_cone(
             pos_net,
             primary.sigma_nid,
             neg_net,
+            sat_portfolio=sat_portfolio,
         )
     else:
         checker = ExactCareChecker(ExactModel(neg_net), care_fn)
@@ -278,6 +283,7 @@ def _run_cone_task(task: Tuple) -> Tuple:
         arrival_map,
         spcf_tier,
         spcf_prefilter,
+        sat_portfolio,
     ) = task
     start = time.perf_counter()
     before = perf.snapshot()
@@ -286,7 +292,7 @@ def _run_cone_task(task: Tuple) -> Tuple:
         t0 = time.perf_counter()
         spcf = _cone_spcf(
             cone_aig, mode, spcf_kind, sim_width, seed, arrival_map,
-            spcf_tier, spcf_prefilter,
+            spcf_tier, spcf_prefilter, sat_portfolio,
         )
         phases["spcf"] = time.perf_counter() - t0
         if spcf is not None and not spcf.is_empty():
@@ -299,7 +305,7 @@ def _run_cone_task(task: Tuple) -> Tuple:
         return (po_index, False, None, None, None, None, phases, counters)
     result = _process_cone(
         cone_net, spcf, mode, sim_width, seed, walk_mode, phases,
-        arrival_map,
+        arrival_map, sat_portfolio,
     )
     phases["total"] = time.perf_counter() - start
     counters = perf.delta(before, perf.snapshot())
@@ -336,6 +342,7 @@ class LookaheadOptimizer:
         arrival_times: Optional[Dict[str, int]] = None,
         spcf_tier: str = "auto",
         spcf_prefilter: bool = True,
+        sat_portfolio: str = "off",
     ):
         """Configure the optimizer.
 
@@ -363,9 +370,20 @@ class LookaheadOptimizer:
         ``area_recovery`` toggles the post-round area-recovery pipeline
         entirely; ``area_effort`` ('low'/'medium'/'high') selects how
         hard :func:`repro.core.recover_area` works when it is on.
+        ``sat_portfolio`` schedules the solver-bound queries (secondary
+        simplification, redundancy removal): 'off' is the historical
+        single-config path bit-for-bit, 'sprint' adds budgeted first
+        passes with prefix reuse, 'race' additionally races diversified
+        solver configurations on queries the sprint cannot settle (see
+        :mod:`repro.sat.portfolio`).
         """
         if spcf_tier not in ("auto", "exact", "overapprox", "signature"):
             raise ValueError(f"unknown SPCF tier {spcf_tier!r}")
+        if sat_portfolio not in PORTFOLIO_MODES:
+            raise ValueError(
+                f"unknown SAT portfolio mode {sat_portfolio!r}; "
+                f"expected one of {PORTFOLIO_MODES}"
+            )
         if area_effort not in AREA_EFFORTS:
             raise ValueError(
                 f"unknown area effort {area_effort!r}; "
@@ -380,6 +398,7 @@ class LookaheadOptimizer:
             self.spcf_kind = spcf_tier
         self.spcf_tier = spcf_tier
         self.spcf_prefilter = spcf_prefilter
+        self.sat_portfolio = sat_portfolio
         self.sim_width = sim_width
         self.seed = seed
         self.use_rules = use_rules
@@ -551,6 +570,7 @@ class LookaheadOptimizer:
                 rebuilt = recover_area(
                     rebuilt, effort=self.area_effort, seed=self.seed,
                     delay_model=self._delay_model(),
+                    sat_portfolio=self.sat_portfolio,
                 )
         return rebuilt
 
@@ -610,7 +630,9 @@ class LookaheadOptimizer:
                 spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
                             self.seed, self._model_key(),
                             self.spcf_tier)
-                cfg_key = spcf_key + (walk_mode, self.k, self.use_rules)
+                cfg_key = spcf_key + (
+                    walk_mode, self.k, self.use_rules, self.sat_portfolio,
+                )
                 if self.cache.is_rejected(cfg_key) or self.cache.is_rejected(
                     spcf_key
                 ):
@@ -645,6 +667,7 @@ class LookaheadOptimizer:
                         self.arrival_times,
                         self.spcf_tier,
                         self.spcf_prefilter,
+                        self.sat_portfolio,
                     )
                 )
 
@@ -851,6 +874,7 @@ class LookaheadOptimizer:
                 pos_net,
                 primary.sigma_nid,
                 neg_net,
+                sat_portfolio=self.sat_portfolio,
             )
         secondary_simplify(neg_net, 0, checker, max_nodes=24)
         return po_index, pos_net, primary.sigma_nid, neg_net

@@ -10,12 +10,19 @@ current secondary network, so correctness never rests on the estimator.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from .. import perf
 from ..netlist import Network, compute_levels, min_sops, node_level
 from ..netlist.encode import encode_network
 from ..sat import Solver
+from ..sat.portfolio import (
+    GLOBAL_UNSAT_CACHE,
+    PortfolioRunner,
+    PortfolioSpec,
+    resolve_portfolio,
+)
 from ..sop import Cube
 from ..tt import TruthTable
 from .model import ExactModel, SignatureModel
@@ -71,24 +78,32 @@ class SatCareChecker:
         primary_net: Network,
         sigma_nid: int,
         secondary_net: Network,
+        sat_portfolio: PortfolioSpec = None,
     ):
         self.sig_model = sig_model
         self.care_sig = care_sig
         self.primary_net = primary_net
         self.sigma_nid = sigma_nid
         self.secondary_net = secondary_net
+        self.portfolio = resolve_portfolio(sat_portfolio)
         self._solver: Optional[Solver] = None
+        self._runner: Optional[PortfolioRunner] = None
         self._sec_vars: Dict[int, int] = {}
         self._pi_vars: List[int] = []
         self._sigma_var = 0
         self.max_conflicts = 200
         self._witness_pis: List[List[bool]] = []
         self._wit_model: Optional[SignatureModel] = None
+        self._sigma_fp: Optional[int] = None
+        self._sec_fps: Optional[Dict[int, int]] = None
+        self._enc_batches: List[tuple] = []
 
     def refresh(self) -> None:
         """Invalidate the encoding after a secondary-network mutation."""
         self.sig_model.recompute()
         self._solver = None
+        self._runner = None
+        self._sec_fps = None
         # Witness PI assignments survive (the primary net is immutable
         # here), but their node values must be re-derived from the
         # mutated secondary network.
@@ -106,6 +121,97 @@ class SatCareChecker:
         self._pi_vars = pi_vars
         self._sigma_var = prim_vars[self.sigma_nid]
         self._solver = solver
+
+    def _ensure_runner(self) -> None:
+        if self._runner is not None:
+            return
+
+        def build(config) -> Solver:
+            solver = Solver(config)
+            # Restrict the primary encoding to Σ1's cone: the query only
+            # constrains Σ1, and a SAT answer is a *total* assignment of
+            # every encoded variable, so nodes outside the cone are pure
+            # propagation cost.  The secondary network starts *empty*
+            # (PIs only) and grows lazily, one queried cube cone at a
+            # time (see :meth:`_require_sec_cone`) — the median query
+            # constrains a few dozen of its hundreds of nodes.  Every
+            # racer replays the identical clause stream (primary cone,
+            # then the recorded cone batches in order), so the variable
+            # maps from the first build hold for all of them.
+            prim_vars = encode_network(
+                solver, self.primary_net, roots=[self.sigma_nid]
+            )
+            pi_vars = [prim_vars[pi] for pi in self.primary_net.pis]
+            sec_vars = dict(zip(self.secondary_net.pis, pi_vars))
+            for batch in self._enc_batches:
+                encode_network(
+                    solver,
+                    self.secondary_net,
+                    pi_vars=pi_vars,
+                    roots=batch,
+                    var_of=sec_vars,
+                )
+            self._sec_vars = sec_vars
+            self._pi_vars = pi_vars
+            self._sigma_var = prim_vars[self.sigma_nid]
+            return solver
+
+        self._enc_batches: List[tuple] = []
+        self._runner = PortfolioRunner(self.portfolio, build)
+        self._runner.solver(0)  # materialize the maps for query building
+
+    def _require_sec_cone(self, roots: List[int]) -> None:
+        """Lazily encode the fan-in cones of ``roots`` into every racer.
+
+        A query's verdict depends only on Σ1's cone and the constrained
+        fan-ins' cones; an UNSAT answer over the encoded subset implies
+        UNSAT of the full encoding (more clauses only constrain further),
+        and a SAT model's PI assignment is a genuine witness because every
+        constrained variable is encoded down to the PIs.  Keeping the
+        rest of the secondary network out of the CNF keeps the solver's
+        total assignments — the dominant propagation cost — proportional
+        to what the queries actually touched.
+        """
+        if all(r in self._sec_vars for r in roots):
+            return
+        batch = tuple(roots)
+        self._enc_batches.append(batch)
+        base = dict(self._sec_vars)
+        for index, solver in self._runner.built():
+            solver.reset()  # clauses may only be added at level 0
+            encode_network(
+                solver,
+                self.secondary_net,
+                pi_vars=self._pi_vars,
+                roots=batch,
+                # Identical clause streams give identical numbering, so
+                # only the first racer needs to grow the shared map.
+                var_of=self._sec_vars if index == 0 else dict(base),
+            )
+
+    def _query_key(self, nid: int, cube: Cube):
+        """UnsatCache key: everything the query's verdict depends on.
+
+        The verdict of ``!Σ1 AND (fan-ins of nid in cube)`` is a function
+        of Σ1's global function and the constrained fan-ins' global
+        functions over the shared positional PI space — captured by
+        structural fingerprints, so hits transfer across rounds, epochs,
+        and networks with isomorphic cones.
+        """
+        if self._sigma_fp is None:
+            self._sigma_fp = self.primary_net.node_fingerprints()[
+                self.sigma_nid
+            ]
+        if self._sec_fps is None:
+            self._sec_fps = self.secondary_net.node_fingerprints()
+        fanins = self.secondary_net.nodes[nid].fanins
+        lits = tuple(
+            sorted(
+                (self._sec_fps[fanins[var]], pol)
+                for var, pol in cube.literals()
+            )
+        )
+        return (self._sigma_fp, lits)
 
     # -- witness pool ------------------------------------------------------
 
@@ -130,13 +236,16 @@ class SatCareChecker:
             )
         return self._wit_model
 
-    def _harvest_witness(self) -> None:
-        """Pool the current SAT model's PI assignment as a witness."""
+    def _harvest_witness(self, solver: Solver) -> None:
+        """Pool a SAT model's PI assignment as a witness.
+
+        ``solver`` is whichever solver produced the model — the single
+        encoding in ``off`` mode, or the winning racer — so witnesses
+        found by any configuration feed every later fast-path check.
+        """
         if len(self._witness_pis) >= WITNESS_POOL_LIMIT:
             return
-        assignment = [
-            bool(self._solver.model_value(sv)) for sv in self._pi_vars
-        ]
+        assignment = [bool(solver.model_value(sv)) for sv in self._pi_vars]
         self._witness_pis.append(assignment)
         if self._wit_model is not None:
             self._extend_witness_model(assignment)
@@ -184,6 +293,8 @@ class SatCareChecker:
         if wit is not None and wit.cube_condition(nid, cube):
             perf.incr("secondary.witness.hit")
             return False
+        if self.portfolio.mode != "off":
+            return self._cube_unreachable_portfolio(nid, cube)
         self._ensure_encoding()
         node = self.secondary_net.nodes[nid]
         assumptions = [-self._sigma_var]
@@ -193,11 +304,45 @@ class SatCareChecker:
         # Budgeted query: unknown is treated as reachable (no drop), which
         # is always safe.
         perf.incr("secondary.sat.calls")
+        start = time.perf_counter()
         result = self._solver.solve(
             assumptions, max_conflicts=self.max_conflicts
         )
+        perf.observe("sat.query.secondary", time.perf_counter() - start)
         if result is True:
-            self._harvest_witness()
+            self._harvest_witness(self._solver)
+        return result is False
+
+    def _cube_unreachable_portfolio(self, nid: int, cube: Cube) -> bool:
+        """Portfolio-mode query: UNSAT cache, then sprint/race.
+
+        ``keep_prefix=1`` keeps the propagated ``!Σ1`` decision level
+        alive between queries — on propagation-bound workloads re-deriving
+        that prefix dominates the per-query cost.
+        """
+        key = self._query_key(nid, cube)
+        if GLOBAL_UNSAT_CACHE.hit(key):
+            return True
+        self._ensure_runner()
+        node = self.secondary_net.nodes[nid]
+        roots = [node.fanins[var] for var, _ in cube.literals()]
+        self._require_sec_cone(roots)
+        assumptions = [-self._sigma_var]
+        for var, pol in cube.literals():
+            sv = self._sec_vars[node.fanins[var]]
+            assumptions.append(sv if pol else -sv)
+        perf.incr("secondary.sat.calls")
+        start = time.perf_counter()
+        result = self._runner.solve(
+            assumptions,
+            baseline_conflicts=self.max_conflicts,
+            keep_prefix=1,
+        )
+        perf.observe("sat.query.secondary", time.perf_counter() - start)
+        if result is True:
+            self._harvest_witness(self._runner.winner)
+        elif result is False:
+            GLOBAL_UNSAT_CACHE.add(key)
         return result is False
 
 

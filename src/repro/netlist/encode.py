@@ -7,7 +7,7 @@ checks on circuits too large for global truth tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..sat import Solver
 from .levels import min_sops
@@ -15,21 +15,42 @@ from .network import Network
 
 
 def encode_network(
-    solver: Solver, net: Network, pi_vars: Optional[Sequence[int]] = None
+    solver: Solver,
+    net: Network,
+    pi_vars: Optional[Sequence[int]] = None,
+    roots: Optional[Iterable[int]] = None,
+    var_of: Optional[Dict[int, int]] = None,
 ) -> Dict[int, int]:
     """Encode the network into ``solver``; returns node id -> solver var.
 
     ``pi_vars`` allows sharing PI variables across multiple encodings (for
-    care-set checks spanning two networks).
+    care-set checks spanning two networks).  ``roots`` restricts the
+    encoding to the transitive fan-in cones of the given nodes; every PI
+    still gets a variable, but nodes outside the cones get neither a
+    variable nor clauses — keeping total assignments (and thus SAT-side
+    propagation cost) proportional to the queried cone, not the network.
+
+    ``var_of`` extends an existing encoding in place: nodes already in
+    the map are assumed encoded and skipped (no variable, no clauses),
+    so repeated calls with growing ``roots`` lazily encode a network cone
+    by cone.  The clause stream of such a call sequence is a function of
+    the root batches alone, so replaying the batches into a fresh solver
+    reproduces the variable numbering exactly.
     """
-    var_of: Dict[int, int] = {}
+    if var_of is None:
+        var_of = {}
     if pi_vars is None:
         pi_vars = [solver.new_var() for _ in range(len(net.pis))]
     if len(pi_vars) != len(net.pis):
         raise ValueError("one solver variable per PI required")
     for pi, sv in zip(net.pis, pi_vars):
         var_of[pi] = sv
+    keep = None if roots is None else net.fanin_cone(roots)
     for nid in net.topo_order():
+        if keep is not None and nid not in keep:
+            continue
+        if nid in var_of:
+            continue  # already encoded by an earlier extension call
         node = net.nodes[nid]
         out = solver.new_var()
         var_of[nid] = out

@@ -149,6 +149,28 @@ class Network:
     def num_internal(self) -> int:
         return sum(1 for n in self.nodes.values() if n.kind == "node")
 
+    def node_fingerprints(self) -> Dict[int, int]:
+        """Structural fingerprint of every node's global function.
+
+        Two nodes (in the same or different networks) with equal
+        fingerprints compute, up to hash collision, the same function of
+        the same *positional* PIs — PIs are identified by their index in
+        ``pis``, not by id or name, so fingerprints are comparable across
+        networks that share a PI space (e.g. the primary and secondary
+        nets of a care checker).  Only integers are hashed, keeping the
+        values stable across processes regardless of ``PYTHONHASHSEED``.
+        """
+        fps: Dict[int, int] = {}
+        for i, pi in enumerate(self.pis):
+            fps[pi] = hash((0x9E3779B9, i))
+        for nid in self.topo_order():
+            node = self.nodes[nid]
+            fps[nid] = hash(
+                (node.tt.nvars, node.tt.bits)
+                + tuple(fps[f] for f in node.fanins)
+            )
+        return fps
+
     # -- evaluation ---------------------------------------------------------------
 
     def evaluate(self, assignment: Sequence[bool]) -> List[bool]:

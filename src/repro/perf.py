@@ -34,6 +34,8 @@ class PerfRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, Tuple[float, int]] = {}  # total s, calls
+        # name -> [count, total s, max s, {log2-microsecond bucket: count}]
+        self._hists: Dict[str, list] = {}
 
     # -- counters ----------------------------------------------------------
 
@@ -69,13 +71,61 @@ class PerfRegistry:
         with self._lock:
             return self._timers.get(name, (0.0, 0))[0]
 
+    # -- latency histograms ------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram ``name``.
+
+        Samples land in logarithmic microsecond buckets (bucket ``b``
+        holds latencies below ``2**b`` µs), cheap enough for per-SAT-query
+        instrumentation while still answering tail questions (p50/p95).
+        """
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = [0, 0.0, 0.0, {}]
+            hist[0] += 1
+            hist[1] += seconds
+            if seconds > hist[2]:
+                hist[2] = seconds
+            bucket = int(seconds * 1e6).bit_length()
+            buckets = hist[3]
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    def histogram(self, name: str) -> Optional[Dict]:
+        """Snapshot of one histogram (None if never observed)."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                return None
+            return {
+                "count": hist[0],
+                "total": hist[1],
+                "max": hist[2],
+                "buckets": dict(hist[3]),
+            }
+
+    def percentile(self, name: str, q: float) -> float:
+        """Upper bound (seconds) of the bucket holding quantile ``q``."""
+        hist = self.histogram(name)
+        if hist is None or not hist["count"]:
+            return 0.0
+        need = q * hist["count"]
+        seen = 0
+        for bucket in sorted(hist["buckets"]):
+            seen += hist["buckets"][bucket]
+            if seen >= need:
+                return (1 << bucket) * 1e-6
+        return hist["max"]
+
     # -- aggregate views ---------------------------------------------------
 
     def reset(self) -> None:
-        """Clear all counters and timers."""
+        """Clear all counters, timers, and histograms."""
         with self._lock:
             self._counters.clear()
             self._timers.clear()
+            self._hists.clear()
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict copy of the current state (JSON-serializable)."""
@@ -86,6 +136,15 @@ class PerfRegistry:
                     name: {"seconds": total, "calls": calls}
                     for name, (total, calls) in self._timers.items()
                 },
+                "histograms": {
+                    name: {
+                        "count": hist[0],
+                        "total": hist[1],
+                        "max": hist[2],
+                        "buckets": dict(hist[3]),
+                    }
+                    for name, hist in self._hists.items()
+                },
             }
 
     def merge(self, snapshot: Dict[str, Dict]) -> None:
@@ -94,6 +153,17 @@ class PerfRegistry:
             self.incr(name, value)
         for name, entry in snapshot.get("timers", {}).items():
             self.add_time(name, entry["seconds"], entry.get("calls", 1))
+        for name, entry in snapshot.get("histograms", {}).items():
+            with self._lock:
+                hist = self._hists.get(name)
+                if hist is None:
+                    hist = self._hists[name] = [0, 0.0, 0.0, {}]
+                hist[0] += entry["count"]
+                hist[1] += entry["total"]
+                hist[2] = max(hist[2], entry["max"])
+                for bucket, count in entry["buckets"].items():
+                    bucket = int(bucket)  # JSON round-trips keys as strings
+                    hist[3][bucket] = hist[3].get(bucket, 0) + count
 
     def ratio(self, hits: str, misses: str) -> float:
         """Hit rate ``hits / (hits + misses)`` of a counter pair (0.0 empty)."""
@@ -108,6 +178,18 @@ class PerfRegistry:
             lines.append("  (none)")
         for name in sorted(snap["counters"]):
             lines.append(f"  {name:<32s} {snap['counters'][name]:>10d}")
+        if snap["histograms"]:
+            lines.append("perf histograms:")
+            for name in sorted(snap["histograms"]):
+                entry = snap["histograms"][name]
+                p50 = self.percentile(name, 0.50)
+                p95 = self.percentile(name, 0.95)
+                lines.append(
+                    f"  {name:<32s} n={entry['count']}"
+                    f" total={entry['total']:.3f}s"
+                    f" max={entry['max'] * 1e3:.2f}ms"
+                    f" p50<={p50 * 1e3:.2f}ms p95<={p95 * 1e3:.2f}ms"
+                )
         lines.append("perf timers:")
         if not snap["timers"]:
             lines.append("  (none)")
@@ -164,7 +246,29 @@ def delta(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, Dict]:
         dc = entry.get("calls", 0) - prev.get("calls", 0)
         if ds or dc:
             timers[name] = {"seconds": ds, "calls": dc}
-    return {"counters": counters, "timers": timers}
+    histograms = {}
+    for name, entry in after.get("histograms", {}).items():
+        prev = before.get("histograms", {}).get(name)
+        if prev is None:
+            histograms[name] = entry
+            continue
+        dn = entry["count"] - prev["count"]
+        if not dn:
+            continue
+        buckets = {}
+        for bucket, count in entry["buckets"].items():
+            dc = count - prev["buckets"].get(bucket, 0)
+            if dc:
+                buckets[bucket] = dc
+        histograms[name] = {
+            "count": dn,
+            "total": entry["total"] - prev["total"],
+            # The true window max is unrecoverable from aggregates; the
+            # process max is a valid upper bound and merging takes max.
+            "max": entry["max"],
+            "buckets": buckets,
+        }
+    return {"counters": counters, "timers": timers, "histograms": histograms}
 
 
 # Module-level conveniences bound to the global registry.
@@ -173,6 +277,9 @@ counter = PERF.counter
 add_time = PERF.add_time
 timer = PERF.timer
 seconds = PERF.seconds
+observe = PERF.observe
+histogram = PERF.histogram
+percentile = PERF.percentile
 reset = PERF.reset
 snapshot = PERF.snapshot
 merge = PERF.merge

@@ -4,13 +4,20 @@ Features: two-literal watching, first-UIP conflict analysis with clause
 learning, VSIDS decision heuristic with an indexed heap, phase saving, Luby
 restarts, and incremental solving under assumptions.
 
+The search strategy is parameterized by :class:`SolverConfig` so a
+portfolio can race configurations with genuinely different trajectories
+(seeded activity jitter, polarity modes, Luby vs. geometric restarts,
+clause-DB limits).  The default configuration reproduces the historical
+single-config behavior bit-for-bit.
+
 External literals use the DIMACS convention: variable ``v`` (1-based) is the
 positive literal ``v`` and the negative literal ``-v``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 _UNDEF = -1
 
@@ -38,6 +45,110 @@ def luby(i: int) -> int:
         seq -= 1
         i %= size
     return 1 << seq
+
+
+class SolverConfig:
+    """Search-strategy parameters of one :class:`Solver` instance.
+
+    Every field is a lever the portfolio layer uses to make racers explore
+    different trajectories on the same formula:
+
+    * ``seed`` — when set, a per-solver RNG jitters initial variable
+      activities (diversifying VSIDS tie-breaking) and drives the
+      ``random`` polarity mode.
+    * ``polarity`` — decision polarity: ``saved`` (phase saving),
+      ``false`` / ``true`` (fixed), or ``random`` (requires ``seed``).
+    * ``phase_saving`` — when off, ``saved`` polarity degrades to the
+      initial phase (``false``); decisions ignore remembered phases.
+    * ``restart`` — ``luby`` (``restart_base * luby(n)``) or ``geometric``
+      (``restart_base * restart_growth ** n``) conflict budgets.
+    * ``learned_limit`` — clause-DB cap: once the learned-clause count
+      exceeds it, the lower-activity half is dropped at the next restart
+      (reason clauses and binaries are kept).
+    * ``var_decay`` — VSIDS activity decay factor.
+
+    The default configuration reproduces the solver's historical behavior
+    bit-for-bit.
+    """
+
+    POLARITIES = ("saved", "false", "true", "random")
+    RESTARTS = ("luby", "geometric")
+
+    __slots__ = (
+        "name",
+        "seed",
+        "polarity",
+        "phase_saving",
+        "restart",
+        "restart_base",
+        "restart_growth",
+        "learned_limit",
+        "var_decay",
+    )
+
+    def __init__(
+        self,
+        name: str = "default",
+        seed: Optional[int] = None,
+        polarity: str = "saved",
+        phase_saving: bool = True,
+        restart: str = "luby",
+        restart_base: int = 64,
+        restart_growth: float = 1.5,
+        learned_limit: Optional[int] = None,
+        var_decay: float = 0.95,
+    ) -> None:
+        if polarity not in self.POLARITIES:
+            raise ValueError(f"polarity must be one of {self.POLARITIES}")
+        if restart not in self.RESTARTS:
+            raise ValueError(f"restart must be one of {self.RESTARTS}")
+        if polarity == "random" and seed is None:
+            raise ValueError("random polarity requires a seed")
+        if restart_base < 1:
+            raise ValueError("restart_base must be >= 1")
+        if restart_growth <= 1.0:
+            raise ValueError("restart_growth must be > 1")
+        if learned_limit is not None and learned_limit < 16:
+            raise ValueError("learned_limit must be >= 16")
+        if not 0.0 < var_decay <= 1.0:
+            raise ValueError("var_decay must be in (0, 1]")
+        self.name = name
+        self.seed = seed
+        self.polarity = polarity
+        self.phase_saving = phase_saving
+        self.restart = restart
+        self.restart_base = restart_base
+        self.restart_growth = restart_growth
+        self.learned_limit = learned_limit
+        self.var_decay = var_decay
+
+    def key(self) -> Tuple:
+        """Hashable identity of the configuration (``name`` excluded)."""
+        return (
+            self.seed,
+            self.polarity,
+            self.phase_saving,
+            self.restart,
+            self.restart_base,
+            self.restart_growth,
+            self.learned_limit,
+            self.var_decay,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolverConfig):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"SolverConfig({self.name!r})"
+
+
+DEFAULT_CONFIG = SolverConfig()
+"""The historical single-config behavior (phase saving, Luby-64)."""
 
 
 class _VarHeap:
@@ -108,8 +219,9 @@ class _VarHeap:
 class Solver:
     """Incremental CDCL SAT solver."""
 
-    def __init__(self) -> None:
-        self.clauses: List[List[int]] = []  # internal-literal clauses
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.clauses: List[Optional[List[int]]] = []  # internal-literal clauses
         self.watches: List[List[int]] = []  # per internal literal
         self.assign: List[int] = []  # per var: _UNDEF / 0 (false) / 1 (true)
         self.level: List[int] = []
@@ -125,6 +237,21 @@ class Solver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        # Assumption literals (DIMACS) of the currently retained decision
+        # levels 1..len(_assumption_levels); maintained by solve() and
+        # _backtrack() so keep_prefix can reuse the propagated prefix.
+        self._assumption_levels: List[int] = []
+        # Learned-clause bookkeeping (only populated under a learned_limit).
+        self._learned: Dict[int, float] = {}  # clause index -> activity
+        self.cla_inc = 1.0
+        cfg = self.config
+        self._rng = random.Random(cfg.seed) if cfg.seed is not None else None
+        # Phase saving only affects decisions: with it off, 'saved'
+        # polarity degrades to the initial phase ('false').
+        if cfg.polarity == "saved" and not cfg.phase_saving:
+            self._polarity = "false"
+        else:
+            self._polarity = cfg.polarity
 
     # -- variables and clauses ------------------------------------------------
 
@@ -133,7 +260,12 @@ class Solver:
         self.assign.append(_UNDEF)
         self.level.append(0)
         self.reason.append(_UNDEF)
-        self.activity.append(0.0)
+        if self._rng is None:
+            self.activity.append(0.0)
+        else:
+            # Sub-unit jitter: diversifies VSIDS tie-breaking across racers
+            # without outweighing a single real activity bump.
+            self.activity.append(self._rng.random() * 1e-3)
         self.phase.append(0)
         self.watches.append([])
         self.watches.append([])
@@ -279,6 +411,8 @@ class Solver:
         index = len(self.trail) - 1
         clause_idx = conflict
         while True:
+            if clause_idx in self._learned:
+                self._learned[clause_idx] += self.cla_inc
             clause = self.clauses[clause_idx]
             start = 0 if ilit == _UNDEF else 1
             for q in clause[start:]:
@@ -330,6 +464,7 @@ class Solver:
             self.heap.push(var, self.activity)
         del self.trail[limit:]
         del self.trail_lim[target_level:]
+        del self._assumption_levels[target_level:]
         self.qhead = len(self.trail)
 
     def _learn(self, learned: List[int]) -> None:
@@ -341,43 +476,121 @@ class Solver:
         self.watches[learned[0] ^ 1].append(idx)
         self.watches[learned[1] ^ 1].append(idx)
         self._enqueue(learned[0], idx)
+        if self.config.learned_limit is not None and len(learned) > 2:
+            self._learned[idx] = self.cla_inc
+
+    def _reduce_db(self) -> None:
+        """Drop the lower-activity half of the learned clauses.
+
+        Called at a restart point (propagation quiescent), so each live
+        clause is watched exactly once on each of its first two literals
+        and the watches can be removed eagerly — the propagation hot path
+        never has to skip tombstones.  Reason clauses of trail literals
+        are locked; binaries were never tracked.
+        """
+        locked = {self.reason[ilit >> 1] for ilit in self.trail}
+        by_activity = sorted(self._learned.items(), key=lambda kv: kv[1])
+        target = len(by_activity) // 2
+        removed = 0
+        for idx, _act in by_activity:
+            if removed >= target:
+                break
+            if idx in locked:
+                continue
+            clause = self.clauses[idx]
+            self.watches[clause[0] ^ 1].remove(idx)
+            self.watches[clause[1] ^ 1].remove(idx)
+            self.clauses[idx] = None
+            del self._learned[idx]
+            removed += 1
 
     # -- decisions ---------------------------------------------------------------
 
     def _decide(self) -> int:
+        polarity = self._polarity
         while self.heap.heap:
             var = self.heap.pop(self.activity)
             if self.assign[var] == _UNDEF:
-                return var * 2 + (1 if self.phase[var] == 0 else 0)
+                if polarity == "saved":
+                    neg = self.phase[var] == 0
+                elif polarity == "false":
+                    neg = True
+                elif polarity == "true":
+                    neg = False
+                else:  # random
+                    neg = self._rng.random() < 0.5
+                return var * 2 + (1 if neg else 0)
         return _UNDEF
 
     # -- main solve loop -----------------------------------------------------------
+
+    def _restart_limit(self, restart_num: int) -> int:
+        cfg = self.config
+        if cfg.restart == "luby":
+            return cfg.restart_base * luby(restart_num)
+        return int(cfg.restart_base * cfg.restart_growth ** restart_num)
 
     def solve(
         self,
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
+        max_propagations: Optional[int] = None,
+        keep_prefix: int = 0,
     ) -> Optional[bool]:
         """Solve under assumptions; True = SAT (model available).
 
-        With ``max_conflicts`` set, returns None (unknown) once the budget
-        is exhausted — callers treat unknown conservatively.
+        With ``max_conflicts`` or ``max_propagations`` set, returns None
+        (unknown) once either budget is exhausted — callers treat unknown
+        conservatively.  Budgets are per-call: a repeated call continues
+        the search incrementally (learned clauses persist).
+
+        ``keep_prefix`` opts into assumption-trail reuse: up to that many
+        leading assumptions shared with the previous call keep their
+        decision levels (and propagations) instead of being backtracked
+        and replayed.  After a prefix-retaining call the solver may sit at
+        a non-zero decision level, so interleaving ``add_clause`` requires
+        an explicit :meth:`reset`.  With ``keep_prefix=0`` (the default)
+        the behavior is identical to the historical solver.
         """
         if not self.ok:
             return False
-        self._backtrack(0)
+        keep = 0
+        if keep_prefix:
+            limit = min(
+                keep_prefix, len(assumptions), len(self._assumption_levels)
+            )
+            while keep < limit and self._assumption_levels[keep] == assumptions[keep]:
+                keep += 1
+        self._backtrack(keep)
         if self._propagate() != _UNDEF:
-            self.ok = False
+            if self._decision_level() == 0:
+                self.ok = False
+                return False
+            # A retained assumption prefix (a subset of the current
+            # assumptions) already contradicts the formula.
+            self._backtrack(self._decision_level() - 1)
             return False
         for ext in assumptions:
             self._ensure_var(ext)
         restart_num = 0
-        conflict_budget = 64 * luby(restart_num)
+        conflict_budget = self._restart_limit(restart_num)
         conflicts_here = 0
         total_conflicts = 0
+        prop_limit = (
+            None
+            if max_propagations is None
+            else self.num_propagations + max_propagations
+        )
+        learned_limit = self.config.learned_limit
         while True:
-            if max_conflicts is not None and total_conflicts > max_conflicts:
-                self._backtrack(0)
+            if (max_conflicts is not None and total_conflicts > max_conflicts) or (
+                prop_limit is not None and self.num_propagations >= prop_limit
+            ):
+                self._backtrack(
+                    min(keep_prefix, len(self._assumption_levels))
+                    if keep_prefix
+                    else 0
+                )
                 return None
             conflict = self._propagate()
             if conflict != _UNDEF:
@@ -389,7 +602,11 @@ class Solver:
                     return False
                 if self._decision_level() <= len(assumptions):
                     # Conflict forced by assumptions alone.
-                    self._backtrack(0)
+                    self._backtrack(
+                        min(keep_prefix, self._decision_level() - 1)
+                        if keep_prefix
+                        else 0
+                    )
                     return False
                 learned, bt_level = self._analyze(conflict)
                 self._backtrack(max(bt_level, 0))
@@ -400,21 +617,39 @@ class Solver:
                     self._backtrack(0)
                     continue
                 self._learn(learned)
-                self.var_inc /= 0.95
+                self.var_inc /= self.config.var_decay
+                if learned_limit is not None:
+                    self.cla_inc /= 0.999
+                    if self.cla_inc > 1e20:
+                        for idx in self._learned:
+                            self._learned[idx] *= 1e-20
+                        self.cla_inc *= 1e-20
                 continue
             if conflicts_here >= conflict_budget:
                 restart_num += 1
-                conflict_budget = 64 * luby(restart_num)
+                conflict_budget = self._restart_limit(restart_num)
                 conflicts_here = 0
-                self._backtrack(0)
+                self._backtrack(
+                    len(self._assumption_levels) if keep_prefix else 0
+                )
+                if (
+                    learned_limit is not None
+                    and len(self._learned) > learned_limit
+                ):
+                    self._reduce_db()
                 continue
             if self._decision_level() < len(assumptions):
                 ext = assumptions[self._decision_level()]
                 ilit = _ilit(ext)
                 value = self._value(ilit)
                 if value == 0:
+                    if keep_prefix:
+                        self._backtrack(
+                            min(keep_prefix, self._decision_level())
+                        )
                     return False
                 self.trail_lim.append(len(self.trail))
+                self._assumption_levels.append(ext)
                 if value == _UNDEF:
                     self._enqueue(ilit, _UNDEF)
                 continue

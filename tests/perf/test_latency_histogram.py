@@ -1,0 +1,94 @@
+"""Tests for the sat.query.* latency histograms in repro.perf."""
+
+import json
+
+import pytest
+
+from repro.perf import PerfRegistry, delta
+
+
+class TestObserve:
+    def test_count_total_max(self):
+        reg = PerfRegistry()
+        for s in (0.001, 0.002, 0.004):
+            reg.observe("sat.query.secondary", s)
+        hist = reg.histogram("sat.query.secondary")
+        assert hist["count"] == 3
+        assert hist["total"] == pytest.approx(0.007)
+        assert hist["max"] == pytest.approx(0.004)
+
+    def test_unobserved_is_none(self):
+        assert PerfRegistry().histogram("nope") is None
+
+    def test_log2_microsecond_buckets(self):
+        reg = PerfRegistry()
+        reg.observe("q", 0.5e-6)   # <1 µs -> bucket 0
+        reg.observe("q", 3e-6)     # 3 µs  -> bucket 2 (< 4 µs)
+        reg.observe("q", 1000e-6)  # 1 ms  -> bucket 10 (< 1024 µs)
+        buckets = reg.histogram("q")["buckets"]
+        assert buckets == {0: 1, 2: 1, 10: 1}
+
+
+class TestPercentile:
+    def test_bucket_upper_bounds(self):
+        reg = PerfRegistry()
+        for _ in range(90):
+            reg.observe("q", 3e-6)
+        for _ in range(10):
+            reg.observe("q", 900e-6)
+        # p50 falls in the 3 µs samples' bucket: upper bound 4 µs.
+        assert reg.percentile("q", 0.50) == pytest.approx(4e-6)
+        # p95 lands in the 900 µs bucket: upper bound 1024 µs.
+        assert reg.percentile("q", 0.95) == pytest.approx(1024e-6)
+
+    def test_empty_is_zero(self):
+        assert PerfRegistry().percentile("q", 0.5) == 0.0
+
+
+class TestAggregation:
+    def test_snapshot_merge_roundtrips_through_json(self):
+        """Worker snapshots survive JSON (bucket keys become strings)."""
+        worker = PerfRegistry()
+        worker.observe("q", 5e-6)
+        worker.observe("q", 7e-6)
+        shipped = json.loads(json.dumps(worker.snapshot()))
+        parent = PerfRegistry()
+        parent.observe("q", 100e-6)
+        parent.merge(shipped)
+        hist = parent.histogram("q")
+        assert hist["count"] == 3
+        assert hist["buckets"] == {3: 2, 7: 1}
+        assert hist["max"] == pytest.approx(100e-6)
+
+    def test_delta_isolates_one_tasks_contribution(self):
+        reg = PerfRegistry()
+        reg.observe("q", 2e-6)
+        before = reg.snapshot()
+        reg.observe("q", 2e-6)
+        reg.observe("q", 40e-6)
+        d = delta(before, reg.snapshot())
+        assert d["histograms"]["q"]["count"] == 2
+        assert d["histograms"]["q"]["buckets"] == {2: 1, 6: 1}
+
+    def test_delta_skips_untouched_histograms(self):
+        reg = PerfRegistry()
+        reg.observe("q", 2e-6)
+        snap = reg.snapshot()
+        assert "q" not in delta(snap, reg.snapshot())["histograms"]
+
+    def test_reset_clears_histograms(self):
+        reg = PerfRegistry()
+        reg.observe("q", 1e-6)
+        reg.reset()
+        assert reg.histogram("q") is None
+
+
+class TestReport:
+    def test_report_includes_percentile_lines(self):
+        reg = PerfRegistry()
+        for _ in range(20):
+            reg.observe("sat.query.secondary", 3e-6)
+        text = reg.report()
+        assert "perf histograms:" in text
+        assert "sat.query.secondary" in text
+        assert "p50<=" in text and "p95<=" in text

@@ -46,7 +46,9 @@ class TestPerfRegistry:
         reg.incr("x")
         reg.add_time("t", 1.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "timers": {}}
+        assert reg.snapshot() == {
+            "counters": {}, "timers": {}, "histograms": {}
+        }
 
     def test_report_lists_everything(self):
         reg = PerfRegistry()
