@@ -2,11 +2,14 @@
 
 Times the per-output lookahead rounds on the Table-1 adders and two
 Table-2 circuits, once serial (workers=1), once parallel (workers from
-``REPRO_WORKERS`` or 4), and once serial with SAT portfolio racing
-(``--sat-portfolio race``), asserts the parallel flow produces the
-bit-identical AIG and the race flow the identical depth/ANDs (racing may
-settle budget-limited SAT queries the single config left UNKNOWN, so
-bit-identity is deliberately not required — see DESIGN 3.19), and writes
+``REPRO_WORKERS`` or 4), once serial with SAT portfolio racing
+(``--sat-portfolio race``), and once serial against a disk-warm
+persistent result store (``--store``; the database is seeded by one cold
+store-backed run first).  The parallel and warm-store flows must produce
+the bit-identical AIG — the store only replays memoized results — while
+the race flow needs only identical depth/ANDs (racing may settle
+budget-limited SAT queries the single config left UNKNOWN, so
+bit-identity is deliberately not required — see DESIGN 3.19).  Writes
 schema-stable JSON rows ``{circuit, flow, seconds, depth, ands}`` to
 ``BENCH_speed.json`` so successive PRs can track the perf trajectory.
 
@@ -20,7 +23,9 @@ import argparse
 import io
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List
 
@@ -54,7 +59,9 @@ def _circuits() -> Dict[str, Callable[[], AIG]]:
     return table
 
 
-def _optimizer(workers: int, sat_portfolio: str = "off") -> LookaheadOptimizer:
+def _optimizer(
+    workers: int, sat_portfolio: str = "off", store=None
+) -> LookaheadOptimizer:
     """Bounded-effort optimizer so the bench measures the hot path, not
     the search budget; all flows use identical settings.  The default
     two walk strategies are kept — the second strategy's rounds revisit
@@ -65,6 +72,7 @@ def _optimizer(workers: int, sat_portfolio: str = "off") -> LookaheadOptimizer:
         sim_width=512,
         workers=workers,
         sat_portfolio=sat_portfolio,
+        store=store,
     )
 
 
@@ -84,6 +92,7 @@ def _parallel_workers() -> int:
 def run_bench(quick: bool = False, verbose: bool = True) -> List[dict]:
     """Time each circuit under the serial and parallel flows -> JSON rows."""
     from repro.sat.portfolio import GLOBAL_UNSAT_CACHE
+    from repro.store import runtime as store_runtime
 
     rows: List[dict] = []
     nworkers = _parallel_workers()
@@ -123,6 +132,44 @@ def run_bench(quick: bool = False, verbose: bool = True) -> List[dict]:
                     f"ands {optimized.num_ands():5d} "
                     f"spcf-hits {hit_rate:5.1%}"
                 )
+        # Disk-warm persistent store: one cold store-backed run seeds a
+        # fresh database, the process-level state is dropped, and the
+        # timed run replays memoized results from disk only.
+        store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+        store_path = os.path.join(store_dir, "results.db")
+        try:
+            GLOBAL_UNSAT_CACHE.clear()
+            _optimizer(1, "off", store=store_path).optimize(aig)
+            store_runtime.reset()
+            perf.reset()
+            GLOBAL_UNSAT_CACHE.clear()
+            flow_name = "lookahead-w1-warmstore"
+            opt = _optimizer(1, "off", store=store_path)
+            start = time.perf_counter()
+            optimized = opt.optimize(aig)
+            seconds = time.perf_counter() - start
+            outputs[flow_name] = _dump(optimized)
+            qor[flow_name] = (depth(optimized), optimized.num_ands())
+            rows.append(
+                {
+                    "circuit": name,
+                    "flow": flow_name,
+                    "seconds": round(seconds, 4),
+                    "depth": depth(optimized),
+                    "ands": optimized.num_ands(),
+                }
+            )
+            if verbose:
+                hit_rate = perf.ratio("store.hit", "store.miss")
+                print(
+                    f"{name:10s} {flow_name:17s} {seconds:8.2f}s "
+                    f"depth {depth(optimized):3d} "
+                    f"ands {optimized.num_ands():5d} "
+                    f"store-hits {hit_rate:5.1%}"
+                )
+        finally:
+            store_runtime.reset()
+            shutil.rmtree(store_dir, ignore_errors=True)
         reference = outputs[flows[0][0]]
         for flow_name, dumped in outputs.items():
             if flow_name.endswith("-race"):

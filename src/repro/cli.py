@@ -31,6 +31,8 @@ from .core import lookahead_flow, optimize_lookahead
 from .mapping import dynamic_power_uw, map_aig, mapped_delay
 from .mapping.verilog import write_verilog
 from .opt import abc_resyn2rs, dc_map_effort_high, sis_best
+from .store import SqliteStore
+from .store.runtime import default_store_path
 from .timing import (
     AigTimingEngine,
     load_arrival_file,
@@ -133,11 +135,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_spec(args: argparse.Namespace) -> Optional[str]:
+    """Resolve --store/--no-store/$REPRO_STORE to a database path or None.
+
+    Precedence: ``--no-store`` wins outright; an explicit ``--store``
+    (with or without a path) comes next; the ``REPRO_STORE`` environment
+    variable enables the store without flags; otherwise no store — the
+    default CLI run stays fully process-local.
+    """
+    if args.no_store:
+        return None
+    if args.store is not None:
+        return args.store if args.store != "" else default_store_path()
+    if os.environ.get("REPRO_STORE"):
+        return default_store_path()
+    return None
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     if args.workers is not None:
         os.environ[perf.WORKERS_ENV] = str(args.workers)
     aig = _read_circuit(args.input)
     arrivals = _parse_arrivals(args, aig)
+    store = _store_spec(args)
     flow = FLOWS[args.flow]
     flow_kwargs = {}
     if args.flow.startswith("lookahead"):
@@ -146,17 +166,19 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         flow_kwargs["area_recovery"] = not args.no_area_recovery
         flow_kwargs["area_effort"] = args.area_effort
         flow_kwargs["sat_portfolio"] = args.sat_portfolio
+        flow_kwargs["store"] = store
     elif (
         args.spcf_tier != "auto"
         or args.no_spcf_prefilter
         or args.no_area_recovery
         or args.area_effort != "medium"
         or args.sat_portfolio != "off"
+        or store is not None
     ):
         print(
             f"warning: flow {args.flow!r} ignores --spcf-tier/"
             "--no-spcf-prefilter/--area-effort/--no-area-recovery/"
-            "--sat-portfolio",
+            "--sat-portfolio/--store",
             file=sys.stderr,
         )
     perf.reset()
@@ -228,6 +250,35 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 )
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and reset the persistent result store."""
+    path = args.store if args.store else default_store_path()
+    if args.action == "path":
+        print(path)
+        return 0
+    if not os.path.exists(path):
+        print(f"no result store at {path}")
+        return 0 if args.action == "stats" else 1
+    store = SqliteStore(path)
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            total = sum(info["entries"] for info in stats.values())
+            print(f"store : {path}")
+            print(f"size  : {store.file_size()} bytes")
+            print(f"total : {total} entries")
+            for ns in sorted(stats):
+                print(f"  {ns:12s} {stats[ns]['entries']} entries")
+            return 0
+        # clear
+        removed = store.invalidate(args.namespace or None)
+        scope = args.namespace or "all namespaces"
+        print(f"cleared {removed} entries ({scope}) from {path}")
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -316,8 +367,40 @@ def build_parser() -> argparse.ArgumentParser:
              "the whole portfolio; off reproduces the single-config flow "
              "bit-for-bit (lookahead flows only)",
     )
+    p_opt.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="PATH",
+        help="persist memo-layer results (SPCFs, rejected cones, UNSAT "
+             "verdicts, witnesses, redundancy proofs) in an on-disk "
+             "store so later runs start warm; with no PATH uses "
+             "$REPRO_STORE or ~/.cache/repro/results.db (lookahead "
+             "flows only; warm runs are bit-identical in QoR)",
+    )
+    p_opt.add_argument(
+        "--no-store", action="store_true",
+        help="force a fully process-local run even when $REPRO_STORE "
+             "is set",
+    )
     _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or reset the persistent result store"
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "clear", "path"),
+        help="stats: per-namespace entry counts; clear: drop entries; "
+             "path: print the store location",
+    )
+    p_cache.add_argument(
+        "--store", metavar="PATH",
+        help="store database ($REPRO_STORE or ~/.cache/repro/results.db "
+             "by default)",
+    )
+    p_cache.add_argument(
+        "--namespace", metavar="NS",
+        help="restrict 'clear' to one namespace (e.g. spcf, unsat)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_map = sub.add_parser("map", help="technology-map to the 70nm library")
     p_map.add_argument("input")

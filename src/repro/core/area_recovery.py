@@ -42,7 +42,9 @@ from ..aig import (
     random_patterns,
     simulate,
 )
+from ..aig.cone import lit_fingerprint, var_fingerprints
 from ..sat.cnf import AigCnf
+from ..store import runtime as store_runtime
 from .signatures import random_pi_bits, value_signatures
 
 #: Valid effort levels for :func:`recover_area`.
@@ -254,6 +256,14 @@ class RedundancyEngine:
         # pay for an encoding.
         self._enc: Optional[AigCnf] = None
         self._var_map: Dict[int, int] = {}
+        # Accepted-drop verdicts, keyed by the (keep, drop) literals'
+        # structural fingerprints, live in the result store's
+        # ``redundant`` namespace when the process has a persistent
+        # store.  Only UNSAT verdicts are stored (an accepted drop is a
+        # proved implication — true regardless of the budget that proved
+        # it), so a warm hit replays exactly the decision the cold run
+        # made; SAT/unknown outcomes are never cached.
+        self._lit_fps: Optional[List[int]] = None
 
     # -- resolution through accepted equivalences ----------------------------
 
@@ -318,9 +328,25 @@ class RedundancyEngine:
             self._runner.solver(0)  # materialize the variable map
         return self._runner
 
+    def _verdict_key(self, keep: int, drop: int):
+        if self._lit_fps is None:
+            self._lit_fps = var_fingerprints(self.aig)
+        return (
+            lit_fingerprint(self._lit_fps, keep),
+            lit_fingerprint(self._lit_fps, drop),
+            self.aig.num_pis,
+        )
+
     def _sat_redundant(self, keep: int, drop: int) -> bool:
         """Bounded proof of ``keep -> drop``; unknown keeps the edge."""
         self.checks += 1
+        persistent = store_runtime.is_persistent()
+        if persistent:
+            key = self._verdict_key(keep, drop)
+            ns = store_runtime.get_store().namespace("redundant")
+            if ns.contains(key):
+                perf.incr("area.redundancy.store_hits")
+                return True
         perf.incr("area.redundancy.queries")
         if self.portfolio.mode != "off":
             runner = self._ensure_runner()
@@ -337,6 +363,8 @@ class RedundancyEngine:
                 self._harvest_witness(runner.winner)
             elif result is None:
                 perf.incr("area.redundancy.unknown")
+            if result is False and persistent:
+                ns.put(key, True)
             return result is False
         if self._enc is None:
             self._enc = AigCnf()
@@ -354,6 +382,8 @@ class RedundancyEngine:
             self._harvest_witness(self._enc.solver)
         elif result is None:
             perf.incr("area.redundancy.unknown")
+        if result is False and persistent:
+            ns.put(key, True)
         return result is False
 
     # -- the worklist pass ---------------------------------------------------

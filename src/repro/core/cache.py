@@ -1,12 +1,12 @@
-"""Cross-round cone cache keyed by structural fingerprints.
+"""Cross-round cone cache as namespace views over :mod:`repro.store`.
 
 Every per-output computation in a lookahead round — the SPCF, the global
 node truth tables feeding it, and the reduce/simplify/reconstruct verdict —
 is a pure function of the output's fan-in cone plus a handful of optimizer
 parameters.  Rounds and `lookahead_flow` iterations revisit mostly-unchanged
 circuits, so identical cones recur constantly.  :class:`ConeCache` memoizes
-three things across rounds (and across ``optimize()`` calls on the same
-optimizer):
+three things across rounds (and, with a persistent store, across
+*invocations*):
 
 * **SPCF payloads** per ``(cone fingerprint, mode, kind, sim params)`` —
   the chosen Δ's truth table or signature, serialized to plain ints so the
@@ -17,34 +17,60 @@ optimizer):
   accepted replacement under a given configuration are skipped outright in
   later rounds.
 
-Invalidation is automatic: any structural change to a cone changes its
-fingerprint (see ``aig.cone_fingerprint``), so stale entries are simply
-never looked up again; a bounded FIFO eviction keeps memory flat.  Hit and
-miss counts are reported through :mod:`repro.perf` under ``cache.*``.
+:class:`ConeCache` owns no tables of its own anymore: it is three
+:class:`repro.store.Namespace` views (``spcf``/``tts``/``rejected``) over
+a :class:`repro.store.ResultStore` — a private bounded
+:class:`~repro.store.MemoryStore` by default, or any store the optimizer
+hands it (e.g. the tiered disk store behind ``--store``), in which case
+entries survive the process.  Invalidation is automatic either way: any
+structural change to a cone changes its fingerprint (see
+``aig.cone_fingerprint``), so stale entries are simply never looked up
+again.  Hit and miss counts are reported through :mod:`repro.perf` under
+both the legacy ``cache.*`` names and the per-namespace ``store.*`` names.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .. import perf
 from ..aig import AIG, cone_fingerprint, node_tts
+from ..store import MemoryStore, Namespace, ResultStore
+from ..store import runtime as store_runtime
 from ..tt import TruthTable
 
 SpcfPayload = Tuple
 """Serialized SPCF: ``('tt', bits, nvars)`` or ``('sim', signature)``."""
 
 
-class ConeCache:
-    """Bounded memo of per-cone lookahead results across rounds."""
+def _encode_tts(tts: List[TruthTable]) -> list:
+    return [(tt.bits, tt.nvars) for tt in tts]
 
-    def __init__(self, max_entries: int = 4096):
+
+def _decode_tts(payload: list) -> List[TruthTable]:
+    return [TruthTable(bits, nvars) for bits, nvars in payload]
+
+
+class ConeCache:
+    """Memo of per-cone lookahead results; a view over a result store."""
+
+    def __init__(
+        self, max_entries: int = 4096, store: Optional[ResultStore] = None
+    ):
         self.max_entries = max_entries
-        self._spcf: Dict[Tuple, SpcfPayload] = {}
-        self._tts: Dict[int, List[TruthTable]] = {}
-        # Ordered set (insertion-ordered dict keys) so eviction can drop
-        # the oldest rejection instead of forgetting all of them at once.
-        self._rejected: Dict[Tuple, None] = {}
+        if store is None:
+            store = MemoryStore(
+                default_limit=max_entries,
+                limits={
+                    "spcf": max_entries,
+                    "tts": max_entries,
+                    "rejected": max_entries,
+                },
+            )
+        self.store = store
+        self._spcf = Namespace(store, "spcf")
+        self._tts = Namespace(store, "tts", encode=_encode_tts, decode=_decode_tts)
+        self._rejected = Namespace(store, "rejected")
 
     # -- SPCF payloads -----------------------------------------------------
 
@@ -54,8 +80,7 @@ class ConeCache:
         return payload
 
     def put_spcf(self, key: Tuple, payload: SpcfPayload) -> None:
-        self._evict(self._spcf)
-        self._spcf[key] = payload
+        self._spcf.put(key, payload)
 
     # -- node truth tables -------------------------------------------------
 
@@ -65,28 +90,20 @@ class ConeCache:
         return tts
 
     def put_node_tts(self, fp: int, tts: List[TruthTable]) -> None:
-        self._evict(self._tts)
-        self._tts[fp] = tts
+        self._tts.put(fp, tts)
 
     # -- rejected cones ----------------------------------------------------
 
     def is_rejected(self, key: Tuple) -> bool:
-        hit = key in self._rejected
+        hit = self._rejected.contains(key)
         if hit:
             perf.incr("cache.rejected.hit")
         return hit
 
     def mark_rejected(self, key: Tuple) -> None:
-        self._evict(self._rejected)
-        self._rejected[key] = None
+        self._rejected.put(key, True)
 
     # -- maintenance -------------------------------------------------------
-
-    def _evict(self, table: Dict) -> None:
-        """Drop the oldest entry when full (dicts preserve insert order)."""
-        while len(table) >= self.max_entries:
-            table.pop(next(iter(table)))
-            perf.incr("cache.evictions")
 
     def clear(self) -> None:
         self._spcf.clear()
@@ -95,9 +112,9 @@ class ConeCache:
 
     def stats(self) -> Dict[str, int]:
         return {
-            "spcf_entries": len(self._spcf),
-            "tts_entries": len(self._tts),
-            "rejected_entries": len(self._rejected),
+            "spcf_entries": self._spcf.entries(),
+            "tts_entries": self._tts.entries(),
+            "rejected_entries": self._rejected.entries(),
         }
 
     def __repr__(self) -> str:
@@ -109,9 +126,23 @@ class ConeCache:
 
 
 # -- worker-side node-tts memo -----------------------------------------------
+#
+# Workers cannot see the parent's ConeCache, so each worker process keeps
+# a small identity-preserving pool of tabulated cones.  The pool is a
+# plain MemoryStore holding the lists by reference — no codec on the hot
+# path.  When the process has a persistent runtime store, misses also
+# read through (and tabulations write through) the shared ``tts``
+# namespace, the same keyspace ConeCache.put_node_tts populates, so a
+# disk-warm run skips tabulation even in fresh worker processes.
 
-_LOCAL_TTS: Dict[int, List[TruthTable]] = {}
-_LOCAL_TTS_LIMIT = 256
+_WORKER_POOL = MemoryStore(
+    default_limit=store_runtime.MEMORY_LIMITS["worker_tts"],
+    limits={"dp": store_runtime.MEMORY_LIMITS["dp"]},
+)
+_WORKER_TTS = Namespace(_WORKER_POOL, "worker_tts")
+_WORKER_DP = Namespace(_WORKER_POOL, "dp")
+
+_MISSING: Any = object()
 
 
 def node_tts_cached(aig: AIG, fp: Optional[int] = None) -> List[TruthTable]:
@@ -123,13 +154,22 @@ def node_tts_cached(aig: AIG, fp: Optional[int] = None) -> List[TruthTable]:
     """
     if fp is None:
         fp = cone_fingerprint(aig, aig.pos)
-    tts = _LOCAL_TTS.get(fp)
-    if tts is None:
-        perf.incr("cache.tts.miss")
-        tts = node_tts(aig)
-        if len(_LOCAL_TTS) >= _LOCAL_TTS_LIMIT:
-            _LOCAL_TTS.pop(next(iter(_LOCAL_TTS)))
-        _LOCAL_TTS[fp] = tts
+    tts = _WORKER_TTS.get(fp, _MISSING)
+    if tts is _MISSING:
+        tts = None
+        if store_runtime.is_persistent():
+            shared = store_runtime.get_store().namespace(
+                "tts", encode=_encode_tts, decode=_decode_tts
+            )
+            tts = shared.get(fp)
+        if tts is None:
+            perf.incr("cache.tts.miss")
+            tts = node_tts(aig)
+            if store_runtime.is_persistent():
+                shared.put(fp, tts)
+        else:
+            perf.incr("cache.tts.hit")
+        _WORKER_TTS.put(fp, tts)
     else:
         perf.incr("cache.tts.hit")
     return tts
@@ -143,10 +183,10 @@ def node_tts_cached(aig: AIG, fp: Optional[int] = None) -> List[TruthTable]:
 # sharing the cone, and later rounds/flow iterations that revisit an
 # unchanged cone.  Keyed alongside the ConeCache fingerprints; the memo
 # dicts are mutated in place by the DP, so a pool hit resumes exactly
-# where the previous query stopped tabulating.
-
-_LOCAL_DP: Dict[Tuple, Dict] = {}
-_LOCAL_DP_LIMIT = 64
+# where the previous query stopped tabulating.  That in-place mutation is
+# also why this pool is never persisted: the store hands the exact same
+# dict object back on every hit, which only a by-reference memory tier
+# can promise.
 
 
 def dp_memo_cached(
@@ -160,13 +200,11 @@ def dp_memo_cached(
     different DP tables for the same structure.
     """
     key = (fp, relaxed, num_pis, model_key)
-    memo = _LOCAL_DP.get(key)
-    if memo is None:
+    memo = _WORKER_DP.get(key, _MISSING)
+    if memo is _MISSING:
         perf.incr("cache.dp.miss")
         memo = {}
-        if len(_LOCAL_DP) >= _LOCAL_DP_LIMIT:
-            _LOCAL_DP.pop(next(iter(_LOCAL_DP)))
-        _LOCAL_DP[key] = memo
+        _WORKER_DP.put(key, memo)
     else:
         perf.incr("cache.dp.hit")
     return memo

@@ -53,6 +53,7 @@ def lookahead_flow(
     area_recovery: bool = True,
     area_effort: str = "medium",
     sat_portfolio: str = "off",
+    store=None,
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -69,10 +70,13 @@ def lookahead_flow(
 
     ``spcf_tier`` / ``spcf_prefilter`` configure the tiered SPCF kernels
     of the default optimizer, ``area_recovery`` / ``area_effort`` its
-    post-round area-recovery pipeline, and ``sat_portfolio`` the solver
+    post-round area-recovery pipeline, ``sat_portfolio`` the solver
     portfolio racing its SAT-bound care and redundancy queries (see
-    :class:`LookaheadOptimizer` and :mod:`repro.sat.portfolio`); all five
-    are ignored when an explicit ``optimizer`` is passed.
+    :class:`LookaheadOptimizer` and :mod:`repro.sat.portfolio`), and
+    ``store`` the persistent result store (a database path or
+    :class:`repro.store.StoreConfig`) that lets every memo layer survive
+    across invocations; all six are ignored when an explicit
+    ``optimizer`` is passed.
 
     ``verify=True`` equivalence-checks every accepted candidate against
     the circuit it replaces (and therefore, transitively, against the
@@ -88,7 +92,7 @@ def lookahead_flow(
         max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times,
         spcf_tier=spcf_tier, spcf_prefilter=spcf_prefilter,
         area_recovery=area_recovery, area_effort=area_effort,
-        sat_portfolio=sat_portfolio,
+        sat_portfolio=sat_portfolio, store=store,
     )
     _quality = _make_quality(opt.arrival_times)
     current = aig.extract()

@@ -50,6 +50,8 @@ from ..netlist import (
     synthesize_into,
 )
 from ..sat.portfolio import MODES as PORTFOLIO_MODES
+from ..store import MISSING, StoreSpec
+from ..store import runtime as store_runtime
 from .area_recovery import AREA_EFFORTS, recover_area
 from .cache import ConeCache, dp_memo_cached, node_tts_cached
 from .model import BddBlowup, BddModel, ExactModel, SignatureModel
@@ -83,7 +85,7 @@ BDD_MODE_PI_LIMIT = 26
 #
 #   (po_index, cone_aig | None, cone_net, mode, spcf_kind, sim_width, seed,
 #    walk_mode, spcf_payload | None, arrival_map | None, spcf_tier,
-#    spcf_prefilter, sat_portfolio)
+#    spcf_prefilter, sat_portfolio, store_spec)
 #
 # ``arrival_map`` is the raw PI-name -> arrival-time dict (delay-model
 # objects stay out of the tuple so pickling never depends on model state);
@@ -116,6 +118,66 @@ def _deserialize_spcf(payload: Tuple) -> Spcf:
 
         return Spcf("tt", tt=TruthTable(payload[1], payload[2]))
     return Spcf("sim", signature=payload[1])
+
+
+# -- whole-result replay ------------------------------------------------------
+#
+# A cone task is a pure function of its tuple (that is exactly what the
+# serial==parallel fuzz invariant enforces), so on a persistent store the
+# *entire* task result can be memoized and replayed bit-identically.  The
+# key is built after the SPCF stage so the "SPCF cached" and "SPCF
+# computed" code paths agree on it: given the serialized SPCF payload,
+# the downstream pipeline depends only on (cone_net, mode, sim_width,
+# seed, walk_mode, payload, arrivals, sat_portfolio).  This is what makes
+# a disk-warm run skip the dominant primary/secondary (SAT) work instead
+# of merely skipping SPCF recomputation.
+
+
+def _cone_result_key(
+    cone_net: Network,
+    mode: str,
+    sim_width: int,
+    seed: int,
+    walk_mode: str,
+    payload: Tuple,
+    arrival_map: Optional[Dict[str, int]],
+    sat_portfolio: str,
+) -> Tuple:
+    root, _neg = cone_net.pos[0]
+    arrivals = tuple(sorted(arrival_map.items())) if arrival_map else None
+    return (
+        cone_net.node_fingerprints()[root],
+        cone_net.to_payload(),
+        mode,
+        sim_width,
+        seed,
+        walk_mode,
+        payload,
+        arrivals,
+        sat_portfolio,
+    )
+
+
+def _encode_cone_result(value: Tuple) -> Tuple:
+    ok, pos_net, sigma_nid, neg_net, payload = value
+    return (
+        bool(ok),
+        None if pos_net is None else pos_net.to_payload(),
+        sigma_nid,
+        None if neg_net is None else neg_net.to_payload(),
+        payload,
+    )
+
+
+def _decode_cone_result(value: Tuple) -> Tuple:
+    ok, pos, sigma_nid, neg, payload = value
+    return (
+        bool(ok),
+        None if pos is None else Network.from_payload(pos),
+        sigma_nid,
+        None if neg is None else Network.from_payload(neg),
+        payload,
+    )
 
 
 def _pi_arrival_ints(model, pi_names: Sequence[str]) -> Optional[List[int]]:
@@ -284,7 +346,13 @@ def _run_cone_task(task: Tuple) -> Tuple:
         spcf_tier,
         spcf_prefilter,
         sat_portfolio,
+        store_spec,
     ) = task
+    # Workers rebuild their runtime store from the shipped spec (no-op
+    # when it is already active); a persistent backend is then shared
+    # with the parent through SQLite's WAL, never through a forked
+    # connection.
+    store_runtime.adopt(store_spec)
     start = time.perf_counter()
     before = perf.snapshot()
     phases: Dict[str, float] = {}
@@ -303,6 +371,24 @@ def _run_cone_task(task: Tuple) -> Tuple:
         phases["total"] = time.perf_counter() - start
         counters = perf.delta(before, perf.snapshot())
         return (po_index, False, None, None, None, None, phases, counters)
+    cone_ns = key = None
+    if payload is not None and store_runtime.is_persistent():
+        cone_ns = store_runtime.get_store().namespace(
+            "cone", encode=_encode_cone_result, decode=_decode_cone_result
+        )
+        key = _cone_result_key(
+            cone_net, mode, sim_width, seed, walk_mode, payload,
+            arrival_map, sat_portfolio,
+        )
+        stored = cone_ns.get(key, MISSING)
+        if stored is not MISSING:
+            ok, pos_net, sigma_nid, neg_net, payload = stored
+            phases["total"] = time.perf_counter() - start
+            counters = perf.delta(before, perf.snapshot())
+            return (
+                po_index, ok, pos_net, sigma_nid, neg_net, payload,
+                phases, counters,
+            )
     result = _process_cone(
         cone_net, spcf, mode, sim_width, seed, walk_mode, phases,
         arrival_map, sat_portfolio,
@@ -310,10 +396,16 @@ def _run_cone_task(task: Tuple) -> Tuple:
     phases["total"] = time.perf_counter() - start
     counters = perf.delta(before, perf.snapshot())
     if result is None:
+        if cone_ns is not None:
+            cone_ns.put(key, (False, None, None, None, payload))
         return (
             po_index, False, None, None, None, payload, phases, counters
         )
     pos_net, sigma_nid, neg_net = result
+    if cone_ns is not None:
+        # Encoding snapshots the nets before the parent splices/mutates
+        # anything downstream.
+        cone_ns.put(key, (True, pos_net, sigma_nid, neg_net, payload))
     return (
         po_index, True, pos_net, sigma_nid, neg_net, payload, phases,
         counters,
@@ -343,6 +435,7 @@ class LookaheadOptimizer:
         spcf_tier: str = "auto",
         spcf_prefilter: bool = True,
         sat_portfolio: str = "off",
+        store: StoreSpec = None,
     ):
         """Configure the optimizer.
 
@@ -376,6 +469,15 @@ class LookaheadOptimizer:
         passes with prefix reuse, 'race' additionally races diversified
         solver configurations on queries the sprint cannot settle (see
         :mod:`repro.sat.portfolio`).
+        ``store`` plugs a :mod:`repro.store` result store under every
+        memo layer: a database path (or :class:`repro.store.StoreConfig`
+        / ready store) installs it as the process runtime store, backs
+        the optimizer's :class:`ConeCache` with it, and ships the spec to
+        pool workers, so SPCF payloads, rejected-cone verdicts, UNSAT
+        cubes, witnesses, and redundancy proofs survive across
+        invocations.  ``None`` (default) keeps every memo process-local —
+        bit-identical to the historical behaviour; disk-warm runs are
+        bit-identical in QoR to cold ones, just faster (DESIGN 3.20).
         """
         if spcf_tier not in ("auto", "exact", "overapprox", "signature"):
             raise ValueError(f"unknown SPCF tier {spcf_tier!r}")
@@ -408,7 +510,15 @@ class LookaheadOptimizer:
         self.area_effort = area_effort
         self.walk_modes = walk_modes
         self.workers = workers
-        self.cache = cache if cache is not None else ConeCache()
+        self.store_spec = store
+        if store is not None:
+            store_runtime.configure(store)
+        if cache is not None:
+            self.cache = cache
+        elif store is not None:
+            self.cache = ConeCache(store=store_runtime.get_store())
+        else:
+            self.cache = ConeCache()
         self.arrival_times = dict(arrival_times) if arrival_times else None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
@@ -668,6 +778,7 @@ class LookaheadOptimizer:
                         self.spcf_tier,
                         self.spcf_prefilter,
                         self.sat_portfolio,
+                        store_runtime.current_spec(),
                     )
                 )
 

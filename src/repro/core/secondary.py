@@ -24,6 +24,7 @@ from ..sat.portfolio import (
     resolve_portfolio,
 )
 from ..sop import Cube
+from ..store import runtime as store_runtime
 from ..tt import TruthTable
 from .model import ExactModel, SignatureModel
 from .simplify import complete_function
@@ -97,6 +98,23 @@ class SatCareChecker:
         self._sigma_fp: Optional[int] = None
         self._sec_fps: Optional[Dict[int, int]] = None
         self._enc_batches: List[tuple] = []
+        # Witnesses persisted by earlier invocations (same Σ1 fingerprint
+        # over the same PI space) seed the pool — in portfolio modes only.
+        # ``off`` promises bit-identical warm and cold runs, and a seeded
+        # witness would skip a SAT call and hence perturb the persistent
+        # solver's learned-clause stream for later budgeted queries; the
+        # portfolio modes already carry the fixed-store-state determinism
+        # caveat (DESIGN 3.19/3.20).  Harvests are persisted in every
+        # mode (writes cannot change this run's verdicts).
+        if self.portfolio.mode != "off" and store_runtime.is_persistent():
+            stored = self._witness_ns().get(self._witness_key())
+            if stored:
+                npis = len(self.primary_net.pis)
+                for word in stored[:WITNESS_POOL_LIMIT]:
+                    self._witness_pis.append(
+                        [bool((word >> i) & 1) for i in range(npis)]
+                    )
+                perf.incr("secondary.witness.seeded", len(self._witness_pis))
 
     def refresh(self) -> None:
         """Invalidate the encoding after a secondary-network mutation."""
@@ -215,6 +233,35 @@ class SatCareChecker:
 
     # -- witness pool ------------------------------------------------------
 
+    def _witness_key(self):
+        """Store key for this checker's witnesses: Σ1 identity × PI width."""
+        if self._sigma_fp is None:
+            self._sigma_fp = self.primary_net.node_fingerprints()[
+                self.sigma_nid
+            ]
+        return (self._sigma_fp, len(self.primary_net.pis))
+
+    def _witness_ns(self):
+        return store_runtime.get_store().namespace("witness")
+
+    def _persist_witness(self, assignment: List[bool]) -> None:
+        """Merge one harvested witness into the persistent pool.
+
+        Write-only from this run's perspective in ``off`` mode: persisted
+        witnesses never influence the current run's verdicts there, so
+        the warm==cold guarantee is untouched by the write path.
+        """
+        ns = self._witness_ns()
+        key = self._witness_key()
+        word = 0
+        for i, v in enumerate(assignment):
+            if v:
+                word |= 1 << i
+        stored = ns.get(key) or []
+        if word in stored or len(stored) >= WITNESS_POOL_LIMIT:
+            return
+        ns.put(key, stored + [word])
+
     def _witness_model(self) -> Optional[SignatureModel]:
         """Witness node values over the current secondary network."""
         if not self._witness_pis:
@@ -247,6 +294,8 @@ class SatCareChecker:
             return
         assignment = [bool(solver.model_value(sv)) for sv in self._pi_vars]
         self._witness_pis.append(assignment)
+        if store_runtime.is_persistent():
+            self._persist_witness(assignment)
         if self._wit_model is not None:
             self._extend_witness_model(assignment)
 

@@ -200,6 +200,7 @@ class PerfRegistry:
                 f"  x{entry['calls']}"
             )
         for pair, label in (
+            (("store.hit", "store.miss"), "result store hit rate"),
             (("cache.spcf.hit", "cache.spcf.miss"), "spcf cache hit rate"),
             (("cache.tts.hit", "cache.tts.miss"), "tts cache hit rate"),
             (("cache.dp.hit", "cache.dp.miss"), "spcf DP memo hit rate"),

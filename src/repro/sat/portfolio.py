@@ -26,9 +26,11 @@ to the historical single-config flow.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from .. import perf
+from ..store import MemoryStore, Namespace
+from ..store import runtime as store_runtime
 from .solver import Solver, SolverConfig
 
 MODES = ("off", "sprint", "race")
@@ -115,47 +117,63 @@ def resolve_portfolio(spec: PortfolioSpec = None) -> PortfolioConfig:
 
 
 class UnsatCache:
-    """Bounded process-global memo of proved-unreachable query cubes.
+    """Memo of proved-unreachable query cubes, backed by the result store.
 
     Keys are structural fingerprints of everything the verdict depends on
     (see ``SatCareChecker._query_key``), so a hit is sound across rounds,
-    Δ values, outputs, and even separate optimizer runs in one process.
-    A hit may upgrade what a budget-limited solver call would have left
-    UNKNOWN, so portfolio modes that consult the cache are deterministic
-    for a fixed process history but not across arbitrary cache states;
-    ``off`` never consults it (the determinism story is in DESIGN 3.19).
+    Δ values, outputs, and even separate optimizer runs — and, when the
+    process has a persistent runtime store, across invocations: entries
+    live in the store's ``unsat`` namespace, so UNSAT verdicts survive to
+    warm the next run.  A hit may upgrade what a budget-limited solver
+    call would have left UNKNOWN, so portfolio modes that consult the
+    cache are deterministic for a fixed store state but not across
+    arbitrary cache states; ``off`` never consults it (the determinism
+    story is in DESIGN 3.19).
+
+    A standalone instance (``UnsatCache(limit=...)``) owns a private
+    bounded in-memory store; ``use_runtime=True`` — how
+    :data:`GLOBAL_UNSAT_CACHE` is built — re-resolves the process runtime
+    store on every access, so ``--store`` configuration and post-fork
+    reopening are picked up transparently.
     """
 
-    __slots__ = ("limit", "_entries")
+    __slots__ = ("limit", "_private", "_use_runtime")
 
-    def __init__(self, limit: int = 1 << 16) -> None:
+    def __init__(self, limit: int = 1 << 16, use_runtime: bool = False) -> None:
         self.limit = limit
-        self._entries: Dict[Tuple, None] = {}
+        self._use_runtime = use_runtime
+        self._private = (
+            None
+            if use_runtime
+            else MemoryStore(default_limit=limit, limits={"unsat": limit})
+        )
+
+    def _ns(self) -> Namespace:
+        store = (
+            store_runtime.get_store() if self._use_runtime else self._private
+        )
+        return store.namespace("unsat")
 
     def hit(self, key: Tuple) -> bool:
-        if key in self._entries:
+        if self._ns().contains(key):
             perf.incr("sat.portfolio.unsat_cache.hit")
             return True
         perf.incr("sat.portfolio.unsat_cache.miss")
         return False
 
     def add(self, key: Tuple) -> None:
-        entries = self._entries
-        if key in entries:
-            return
-        if len(entries) >= self.limit:  # FIFO eviction
-            del entries[next(iter(entries))]
-        entries[key] = None
+        self._ns().put(key, True)
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._ns().clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._ns().entries()
 
 
-GLOBAL_UNSAT_CACHE = UnsatCache()
-"""Shared by every checker in the process (workers each have their own)."""
+GLOBAL_UNSAT_CACHE = UnsatCache(use_runtime=True)
+"""Shared by every checker in the process; with ``--store`` the verdicts
+live in the persistent store and survive across invocations."""
 
 
 class PortfolioRunner:

@@ -1,0 +1,55 @@
+"""Unified result store: every memo layer behind one pluggable backend.
+
+The subsystem that makes "re-run the flow, skip the work already done"
+a property of the whole system instead of five ad-hoc dicts:
+
+* :mod:`repro.store.base` — the :class:`ResultStore` protocol, the
+  per-layer :class:`Namespace` view, and :class:`StoreConfig`;
+* :mod:`repro.store.memory` — bounded LRU :class:`MemoryStore`;
+* :mod:`repro.store.sqlite` — persistent WAL-mode :class:`SqliteStore`;
+* :mod:`repro.store.tiered` — write-through :class:`TieredStore`;
+* :mod:`repro.store.runtime` — the per-process runtime store the memo
+  layers consult (fork-aware, spec-shippable to pool workers);
+* :mod:`repro.store.serialize` — versioned key/payload codec.
+
+See DESIGN.md §3.20 for keying conventions and the warm==cold guarantee.
+"""
+
+from .base import (
+    MISSING,
+    Namespace,
+    ResultStore,
+    StoreConfig,
+    StoreSpec,
+    resolve_store,
+)
+from .memory import MemoryStore
+from .serialize import (
+    PAYLOAD_VERSION,
+    StoreDecodeError,
+    dumps,
+    encode_key,
+    key_fingerprint,
+    loads,
+)
+from .sqlite import SCHEMA_VERSION, SqliteStore
+from .tiered import TieredStore
+
+__all__ = [
+    "MISSING",
+    "Namespace",
+    "ResultStore",
+    "StoreConfig",
+    "StoreSpec",
+    "resolve_store",
+    "MemoryStore",
+    "SqliteStore",
+    "TieredStore",
+    "SCHEMA_VERSION",
+    "PAYLOAD_VERSION",
+    "StoreDecodeError",
+    "dumps",
+    "loads",
+    "encode_key",
+    "key_fingerprint",
+]

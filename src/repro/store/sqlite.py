@@ -1,0 +1,231 @@
+"""Persistent SQLite result store (WAL mode, schema-versioned).
+
+One database file holds every namespace as rows of a single ``entries``
+table keyed by ``(ns, key)``; the key is the canonical text encoding of
+:func:`repro.store.serialize.encode_key` and the value a versioned codec
+payload.  Design points:
+
+* **WAL journaling** — readers never block the (single) writer and vice
+  versa, which is exactly the daemon-shaped access pattern the store is
+  built for: many concurrent warm readers, occasional writers.  Multiple
+  writers are *safe* (SQLite serializes them through the write lock and a
+  generous busy timeout) just not fast; a loaded deployment should keep
+  one writer per namespace.
+* **Schema versioning** — ``meta`` records the schema and payload-codec
+  versions this file was written with.  A mismatch on open wipes the
+  tables and starts cold: a stale format is self-invalidating, never
+  misread.
+* **Corruption = cold start, never a crash** — a file that does not
+  parse as a database (truncated, garbage, wrong format) is deleted and
+  rebuilt; a row that fails payload decoding reads as a miss.  Losing a
+  cache is always acceptable; serving a wrong payload or taking the
+  optimizer down is not.
+* **Fork safety** — SQLite connections must not cross ``fork()``.  Every
+  operation checks the owning PID and transparently reopens in a child
+  process (the parent's connection is dropped unclosed there; closing it
+  from the child would corrupt the parent's file descriptors).
+
+Latency of disk hits is observed in the ``store.load`` histogram so
+``--profile`` answers "is the warm path actually fast".
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+from typing import Any, Dict, Optional
+
+from .. import perf
+from .base import MISSING, ResultStore
+from .serialize import (
+    PAYLOAD_VERSION,
+    StoreDecodeError,
+    dumps,
+    encode_key,
+    key_fingerprint,
+    loads,
+)
+
+SCHEMA_VERSION = 1
+"""Bump on any table-layout change; old files then rebuild cold."""
+
+BUSY_TIMEOUT_MS = 10_000
+"""How long a writer waits on the database lock before erroring."""
+
+
+class SqliteStore(ResultStore):
+    """Durable result store over one SQLite file."""
+
+    persistent = True
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid = -1
+        self._connect()
+
+    # -- connection & schema lifecycle -------------------------------------
+
+    def _connect(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        try:
+            self._conn = self._open()
+        except sqlite3.Error:
+            # Unreadable database: rebuild cold rather than crash.
+            self._rebuild()
+        self._pid = os.getpid()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path,
+            timeout=BUSY_TIMEOUT_MS / 1000.0,
+            isolation_level=None,  # autocommit; puts are single statements
+            check_same_thread=False,
+        )
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " ns TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " fp TEXT NOT NULL,"
+                " value BLOB NOT NULL,"
+                " PRIMARY KEY (ns, key))"
+            )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS entries_fp ON entries (ns, fp)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'version'"
+            ).fetchone()
+            version = f"{SCHEMA_VERSION}.{PAYLOAD_VERSION}"
+            if row is None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES ('version', ?)",
+                    (version,),
+                )
+            elif row[0] != version:
+                # Foreign schema or payload format: self-invalidate.
+                perf.incr("store.schema_invalidations")
+                conn.execute("DELETE FROM entries")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES ('version', ?)",
+                    (version,),
+                )
+        except sqlite3.Error:
+            conn.close()
+            raise
+        return conn
+
+    def _rebuild(self) -> None:
+        """Delete the damaged file (and WAL sidecars) and start cold."""
+        perf.incr("store.rebuilds")
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.remove(self.path + suffix)
+            except OSError:
+                pass
+        self._conn = self._open()
+
+    def _db(self) -> sqlite3.Connection:
+        if self._pid != os.getpid():
+            # Forked child: the inherited connection belongs to the
+            # parent.  Drop the reference without closing and reopen.
+            self._conn = None
+            self._connect()
+        elif self._conn is None:
+            self._connect()
+        return self._conn
+
+    # -- the store protocol -------------------------------------------------
+
+    def get(self, ns: str, key: Any) -> Any:
+        start = time.perf_counter()
+        try:
+            row = self._db().execute(
+                "SELECT value FROM entries WHERE ns = ? AND key = ?",
+                (ns, encode_key(key)),
+            ).fetchone()
+        except sqlite3.Error:
+            self._rebuild()
+            return MISSING
+        finally:
+            perf.observe("store.load", time.perf_counter() - start)
+        if row is None:
+            return MISSING
+        try:
+            return loads(row[0])
+        except StoreDecodeError:
+            perf.incr("store.decode_errors")
+            return MISSING
+
+    def put(self, ns: str, key: Any, value: Any) -> None:
+        payload = dumps(value)  # encode before touching the DB
+        try:
+            self._db().execute(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+                (ns, encode_key(key), str(key_fingerprint(key)), payload),
+            )
+        except sqlite3.Error:
+            # A failed write loses one memo entry, nothing else.
+            self._rebuild()
+
+    def invalidate(
+        self, ns: Optional[str] = None, fingerprint: Optional[int] = None
+    ) -> int:
+        clauses, params = [], []
+        if ns is not None:
+            clauses.append("ns = ?")
+            params.append(ns)
+        if fingerprint is not None:
+            clauses.append("fp = ?")
+            params.append(str(fingerprint))
+        sql = "DELETE FROM entries"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        try:
+            return self._db().execute(sql, params).rowcount
+        except sqlite3.Error:
+            self._rebuild()
+            return 0
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            rows = self._db().execute(
+                "SELECT ns, COUNT(*) FROM entries GROUP BY ns"
+            ).fetchall()
+        except sqlite3.Error:
+            self._rebuild()
+            return {}
+        return {ns: {"entries": count} for ns, count in rows}
+
+    def file_size(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
+
+    def __repr__(self) -> str:
+        return f"SqliteStore({self.path!r})"

@@ -115,6 +115,51 @@ def cached_cold_identical(case: Case) -> Optional[str]:
     return None
 
 
+def store_warm_equals_cold(case: Case) -> Optional[str]:
+    """A disk-warm persistent store is a pure memoization (DESIGN 3.20).
+
+    Three runs of the same configuration — storeless, store-backed cold,
+    and store-backed against the database the cold run left behind (with
+    the process runtime reset in between, so hits come from disk, not the
+    memory tier) — must be bit-identical: the store may only ever replay
+    results the cold computation would have produced.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from ..store import runtime as store_runtime
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-store-fuzz-")
+    path = os.path.join(tmpdir, "results.db")
+    try:
+        with case.optimizer(workers=1) as opt:
+            baseline = opt.optimize(case.aig)
+        store_runtime.reset()
+        with case.optimizer(workers=1, store=path) as opt:
+            cold = opt.optimize(case.aig)
+        store_runtime.reset()  # drop the memory tier: warm = disk only
+        with case.optimizer(workers=1, store=path) as opt:
+            warm = opt.optimize(case.aig)
+        if _dump(cold) != _dump(baseline):
+            return (
+                "store-backed optimize() differs from the storeless run: "
+                f"store={cold!r} baseline={baseline!r}"
+            )
+        if _dump(warm) != _dump(cold):
+            return (
+                "disk-warm optimize() differs from cold: "
+                f"warm={warm!r} cold={cold!r}"
+            )
+        detail = _cec_detail(case.aig, warm)
+        if detail:
+            return f"store-warm optimize() broke equivalence — {detail}"
+        return None
+    finally:
+        store_runtime.reset()  # restore the ambient no-store state
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def spcf_tiers_agree(case: Case) -> Optional[str]:
     """Exact and degraded SPCF tiers agree on the optimizer contract.
 
@@ -328,6 +373,7 @@ INVARIANTS: Dict[str, Invariant] = {
     "optimizer_equivalence": optimizer_equivalence,
     "serial_parallel_identical": serial_parallel_identical,
     "cached_cold_identical": cached_cold_identical,
+    "store_warm_equals_cold": store_warm_equals_cold,
     "spcf_tiers_agree": spcf_tiers_agree,
     "sat_portfolio_agree": sat_portfolio_agree,
     "area_recovery_equiv": area_recovery_equiv,
@@ -345,6 +391,7 @@ EXPENSIVE = {
     "flow_equivalence": 5,
     "sat_portfolio_agree": 4,
     "spcf_tiers_agree": 3,
+    "store_warm_equals_cold": 3,
     "cached_cold_identical": 2,
 }
 

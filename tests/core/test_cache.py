@@ -54,6 +54,37 @@ class TestConeCacheUnit:
         assert cache.is_rejected((3,))
         assert cache.is_rejected((99,))
 
+    def test_overwrite_full_cache_evicts_nothing(self):
+        # Regression: the pre-store _evict ran before the key-exists
+        # check, so re-putting an existing key into a full table silently
+        # dropped an unrelated entry.  Overwrites must never evict.
+        cache = ConeCache(max_entries=4)
+        for fp in range(4):
+            cache.put_spcf((fp,), ("tt", fp, 1))
+        cache.put_spcf((2,), ("tt", 99, 1))  # refresh a key while full
+        assert cache.stats()["spcf_entries"] == 4
+        for fp in range(4):
+            assert cache.get_spcf((fp,)) is not None
+        assert cache.get_spcf((2,)) == ("tt", 99, 1)
+        # Same contract for the rejected negative-cache.
+        for fp in range(4):
+            cache.mark_rejected((fp,))
+        cache.mark_rejected((1,))  # re-mark while full
+        assert cache.stats()["rejected_entries"] == 4
+        for fp in range(4):
+            assert cache.is_rejected((fp,))
+
+    def test_lru_refresh_on_hit(self):
+        # The store upgraded the spcf table from FIFO to LRU: a hit
+        # protects the entry from the next eviction.
+        cache = ConeCache(max_entries=2)
+        cache.put_spcf((1,), ("tt", 1, 1))
+        cache.put_spcf((2,), ("tt", 2, 1))
+        cache.get_spcf((1,))
+        cache.put_spcf((3,), ("tt", 3, 1))
+        assert cache.get_spcf((1,)) is not None
+        assert cache.get_spcf((2,)) is None
+
     def test_clear(self):
         cache = ConeCache()
         cache.put_spcf((1,), ("sim", 3))

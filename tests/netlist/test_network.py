@@ -83,6 +83,32 @@ class TestStructure:
         dangling = net.add_node([a, b], XOR2)
         assert dangling in net.topo_order()
 
+    def test_payload_roundtrip_is_exact(self):
+        net, (_a, _b, _c, _n1, n2) = small_network()
+        net.add_po(n2, True, "ybar")
+        back = Network.from_payload(net.to_payload())
+        # Exactness matters: ids, order, names, and _next_id all feed the
+        # splice path, so the round trip must be indistinguishable.
+        assert back.to_payload() == net.to_payload()
+        assert back.pis == net.pis
+        assert back.pos == net.pos
+        assert back.po_names == net.po_names
+        assert back._next_id == net._next_id
+        assert list(back.nodes) == list(net.nodes)
+        assert back.po_tts() == net.po_tts()
+        # The copy is independent: growing it leaves the original alone.
+        back.add_pi("extra")
+        assert len(net.pis) == 3
+
+    @given(st.integers(0, 15))
+    @settings(deadline=None, max_examples=8)
+    def test_payload_roundtrip_random(self, seed):
+        aig = random_aig(seed, n_pis=6, n_nodes=35, n_pos=4)
+        net = renode(aig, k=5)
+        back = Network.from_payload(net.to_payload())
+        assert back.to_payload() == net.to_payload()
+        assert back.po_tts() == net.po_tts()
+
 
 class TestLevelModel:
     def test_tree_level_uniform(self):

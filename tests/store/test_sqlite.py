@@ -1,0 +1,235 @@
+"""The persistent SQLite backend: durability, self-invalidation, safety.
+
+The contract under any kind of file damage is *cold start, never a crash,
+never a wrong payload* — a lost cache costs a warm-up, a wrong payload
+costs a miscompile.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import subprocess
+import sys
+
+from repro import perf
+from repro.store import (
+    MISSING,
+    PAYLOAD_VERSION,
+    SqliteStore,
+    dumps,
+    encode_key,
+)
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def _store(tmp_path, name="results.db"):
+    return SqliteStore(str(tmp_path / name))
+
+
+class TestRoundtrip:
+    def test_get_put_and_reopen(self, tmp_path):
+        store = _store(tmp_path)
+        key = (123, "tt", "exact", ("unit",))
+        assert store.get("spcf", key) is MISSING
+        store.put("spcf", key, ("tt", (1 << 90) + 3, 7))
+        assert store.get("spcf", key) == ("tt", (1 << 90) + 3, 7)
+        store.close()
+        # A fresh store over the same file sees the entry (persistence).
+        reopened = _store(tmp_path)
+        assert reopened.get("spcf", key) == ("tt", (1 << 90) + 3, 7)
+        reopened.close()
+
+    def test_overwrite_updates_in_place(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("ns", (1,), "old")
+        store.put("ns", (1,), "new")
+        assert store.get("ns", (1,)) == "new"
+        assert store.entries("ns") == 1
+        store.close()
+
+    def test_stats_and_file_size(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("a", (1,), 1)
+        store.put("a", (2,), 2)
+        store.put("b", (1,), 3)
+        assert store.stats() == {
+            "a": {"entries": 2},
+            "b": {"entries": 1},
+        }
+        assert store.file_size() > 0
+        store.close()
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "deep" / "nested" / "r.db"))
+        store.put("ns", (1,), "x")
+        assert store.get("ns", (1,)) == "x"
+        store.close()
+
+
+class TestInvalidation:
+    def test_by_fingerprint_is_namespaced(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("ns", (100, "a"), 1)
+        store.put("ns", (100, "b"), 2)
+        store.put("ns", (200, "a"), 3)
+        store.put("other", (100, "a"), 4)
+        assert store.invalidate("ns", fingerprint=100) == 2
+        assert store.get("ns", (100, "a")) is MISSING
+        assert store.get("ns", (200, "a")) == 3
+        assert store.get("other", (100, "a")) == 4
+        store.close()
+
+    def test_clear_namespace_and_all(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("a", (1,), 1)
+        store.put("b", (1,), 2)
+        assert store.invalidate("a") == 1
+        assert store.invalidate() == 1
+        assert store.stats() == {}
+        store.close()
+
+
+class TestSelfInvalidation:
+    def test_schema_version_mismatch_wipes_entries(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        store = SqliteStore(path)
+        store.put("ns", (1,), "stale")
+        store.close()
+        # Pretend the file was written by a foreign format revision.
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '0.0' WHERE key = 'version'")
+        conn.commit()
+        conn.close()
+        before = perf.counter("store.schema_invalidations")
+        reopened = SqliteStore(path)
+        assert perf.counter("store.schema_invalidations") == before + 1
+        assert reopened.get("ns", (1,)) is MISSING
+        # The new version is recorded, so the wipe happens once.
+        reopened.put("ns", (1,), "fresh")
+        reopened.close()
+        again = SqliteStore(path)
+        assert again.get("ns", (1,)) == "fresh"
+        again.close()
+
+    def test_corrupt_row_reads_as_miss(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        store = SqliteStore(path)
+        store.put("ns", (1,), "good")
+        store.close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE entries SET value = ? WHERE key = ?",
+            (b"not a payload", encode_key((1,))),
+        )
+        conn.execute(
+            "INSERT INTO entries VALUES ('ns', ?, '2', ?)",
+            (encode_key((2,)), b'[%d,"wrong version"]' % (PAYLOAD_VERSION + 9)),
+        )
+        conn.commit()
+        conn.close()
+        before = perf.counter("store.decode_errors")
+        reopened = SqliteStore(path)
+        assert reopened.get("ns", (1,)) is MISSING
+        assert reopened.get("ns", (2,)) is MISSING
+        assert perf.counter("store.decode_errors") == before + 2
+        reopened.close()
+
+
+class TestCorruptFiles:
+    """A damaged database file rebuilds cold — no crash, no wrong data."""
+
+    def _assert_rebuilds_cold(self, path):
+        before = perf.counter("store.rebuilds")
+        store = SqliteStore(path)
+        assert store.get("ns", (1,)) is MISSING
+        store.put("ns", (1,), "fresh")
+        assert store.get("ns", (1,)) == "fresh"
+        assert perf.counter("store.rebuilds") > before
+        store.close()
+
+    def test_garbage_file(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        with open(path, "wb") as f:
+            f.write(b"this is definitely not a sqlite database" * 64)
+        self._assert_rebuilds_cold(path)
+
+    def test_truncated_database(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        seed = SqliteStore(path)
+        for i in range(64):
+            seed.put("ns", (i,), ("payload", i))
+        seed.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(max(100, size // 3))
+        # Truncation may surface at open or at first query; either way the
+        # store must end up serving MISSING-then-fresh, never junk.
+        store = SqliteStore(path)
+        got = store.get("ns", (1,))
+        assert got is MISSING or got == ("payload", 1)
+        store.put("ns", (999,), "fresh")
+        assert store.get("ns", (999,)) == "fresh"
+        store.close()
+
+    def test_header_scribble(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        seed = SqliteStore(path)
+        seed.put("ns", (1,), "x")
+        seed.close()
+        with open(path, "r+b") as f:
+            f.write(b"\xff" * 32)  # destroy the SQLite magic header
+        self._assert_rebuilds_cold(path)
+
+
+class TestConcurrency:
+    def test_two_processes_write_one_database(self, tmp_path):
+        """Concurrent writers from separate processes both land their rows.
+
+        WAL plus the busy timeout serializes the writes; neither process
+        may crash and the union of both key ranges must be readable.
+        """
+        path = str(tmp_path / "results.db")
+        SqliteStore(path).close()  # settle schema creation up front
+        script = (
+            "import sys\n"
+            "from repro.store import SqliteStore\n"
+            "path, base = sys.argv[1], int(sys.argv[2])\n"
+            "store = SqliteStore(path)\n"
+            "for i in range(base, base + 50):\n"
+            "    store.put('shared', (i,), ('from', base, i))\n"
+            "store.close()\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, path, str(base)],
+                env=env,
+                stderr=subprocess.PIPE,
+            )
+            for base in (0, 1000)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        store = SqliteStore(path)
+        assert store.entries("shared") == 100
+        for base in (0, 1000):
+            for i in (base, base + 49):
+                assert store.get("shared", (i,)) == ("from", base, i)
+        store.close()
+
+    def test_reader_sees_writer_commits(self, tmp_path):
+        path = str(tmp_path / "results.db")
+        writer = SqliteStore(path)
+        reader = SqliteStore(path)
+        writer.put("ns", (1,), "v1")
+        assert reader.get("ns", (1,)) == "v1"  # autocommit, WAL readers
+        writer.put("ns", (1,), "v2")
+        assert reader.get("ns", (1,)) == "v2"
+        writer.close()
+        reader.close()
