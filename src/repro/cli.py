@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     python -m repro map     circuit.aag -o out.v
     python -m repro bench   --circuit C432
     python -m repro fuzz    --seed 0 --budget 60
+    python -m repro serve   --store results.db --workers 4
+    python -m repro submit  circuit.aag -o out.aag --flow lookahead
 
 Input formats: ASCII AIGER (.aag) and BLIF (.blif); outputs AIGER, BLIF,
 or gate-level Verilog (by extension).  ``--arrival name=t,...`` and
@@ -19,6 +21,8 @@ of raw depth, and reports show arrival-aware timing.
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import os
 import sys
 import time
@@ -281,6 +285,112 @@ def cmd_cache(args: argparse.Namespace) -> int:
         store.close()
 
 
+def _serve_store(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the daemon's store path.
+
+    Unlike ``optimize`` (process-local by default), ``serve`` persists by
+    default — a daemon exists to keep answers warm across jobs and
+    restarts — so only ``--no-store`` opts out.
+    """
+    if args.no_store:
+        return None
+    if args.store:
+        return args.store
+    return default_store_path()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ReproDaemon, ServeClient, ServeError
+
+    store = _serve_store(args)
+    if args.status or args.stop:
+        try:
+            client = ServeClient.resolve(
+                endpoint=args.endpoint,
+                store=store,
+                endpoint_file=args.endpoint_file,
+            )
+            if args.stop:
+                client.shutdown()
+                print(f"daemon at {client.host}:{client.port} draining")
+            else:
+                status = client.status()
+                print(json.dumps(status, indent=2, sort_keys=True))
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    daemon = ReproDaemon(
+        store=store,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        job_timeout=args.job_timeout,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        runners=args.runners,
+        endpoint_file=args.endpoint_file,
+    )
+
+    def announce(d: ReproDaemon) -> None:
+        print(
+            f"repro serve: listening on {d.host}:{d.port} "
+            f"(store {store or '(memory only)'}, pid {os.getpid()})",
+            flush=True,
+        )
+
+    daemon.serve_forever(on_ready=announce)
+    print("repro serve: drained, exiting")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    with open(args.input) as fh:
+        text = fh.read()
+    fmt = "blif" if args.input.endswith(".blif") else "aag"
+    arrivals: Dict[str, int] = {}
+    if args.arrival_file:
+        arrivals.update(load_arrival_file(args.arrival_file))
+    if args.arrival:
+        arrivals.update(parse_arrival_spec(args.arrival))
+    options: Dict[str, object] = {"flow": args.flow}
+    if arrivals:
+        options["arrivals"] = arrivals
+    if args.verify:
+        options["verify"] = True
+    try:
+        client = ServeClient.resolve(
+            endpoint=args.endpoint,
+            store=args.store or None,
+            endpoint_file=args.endpoint_file,
+        )
+        result = client.submit(
+            text,
+            options=options,
+            timeout=args.timeout,
+            fmt=fmt,
+            return_circuit=bool(args.output),
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    inp = result["input"]
+    store_info = result.get("store", {})
+    print(
+        f"serve[{args.flow}]: ands {inp['ands']} -> {result['ands']}, "
+        f"levels {inp['depth']} -> {result['depth']} "
+        f"({result['elapsed_s']:.1f}s, "
+        f"store hit rate {store_info.get('hit_rate', 0.0):.1%})"
+    )
+    if args.output:
+        optimized = read_aag(io.StringIO(result["circuit"]))
+        _write_circuit(optimized, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import BENCHMARKS
 
@@ -401,6 +511,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict 'clear' to one namespace (e.g. spcf, unsat)",
     )
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived optimization daemon on the result store",
+    )
+    p_serve.add_argument(
+        "--store", metavar="PATH",
+        help="store database backing the daemon ($REPRO_STORE or "
+             "~/.cache/repro/results.db by default); the endpoint file "
+             "<store>.serve.json advertises the daemon to `repro submit`",
+    )
+    p_serve.add_argument(
+        "--no-store", action="store_true",
+        help="serve from memory only (answers are not persisted)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, metavar="N",
+        help=f"worker processes per optimizer (overrides "
+             f"${perf.WORKERS_ENV}; 1 = serial)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0 = ephemeral, advertised via the "
+             "endpoint file)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-job watchdog budget (default 600)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="max queued same-config jobs drained onto one warm "
+             "optimizer (default 8)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="queued-job bound before submits are rejected (default 256)",
+    )
+    p_serve.add_argument(
+        "--runners", type=int, default=1, metavar="N",
+        help="concurrent job-runner threads (default 1; per-job store "
+             "hit-rates are approximate above 1)",
+    )
+    p_serve.add_argument(
+        "--endpoint-file", metavar="FILE",
+        help="override where the daemon advertises HOST:PORT",
+    )
+    p_serve.add_argument(
+        "--status", action="store_true",
+        help="probe the running daemon and print its status as JSON",
+    )
+    p_serve.add_argument(
+        "--stop", action="store_true",
+        help="ask the running daemon to drain and exit",
+    )
+    p_serve.add_argument(
+        "--endpoint", metavar="HOST:PORT",
+        help="daemon address for --status/--stop (default: the "
+             "endpoint file)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a circuit to a running optimize daemon",
+    )
+    p_submit.add_argument("input")
+    p_submit.add_argument("-o", "--output")
+    p_submit.add_argument(
+        "--flow", choices=("lookahead", "lookahead-only"),
+        default="lookahead",
+        help="served flow (daemon-side defaults mirror `repro optimize`)",
+    )
+    _add_arrival_args(p_submit)
+    p_submit.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-job budget enforced by the daemon watchdog "
+             "(daemon default when omitted)",
+    )
+    p_submit.add_argument(
+        "--verify", action="store_true",
+        help="ask the daemon to equivalence-check the answer before "
+             "returning it",
+    )
+    p_submit.add_argument(
+        "--store", metavar="PATH",
+        help="store whose endpoint file locates the daemon "
+             "($REPRO_STORE or ~/.cache/repro/results.db by default)",
+    )
+    p_submit.add_argument(
+        "--endpoint", metavar="HOST:PORT",
+        help="daemon address (overrides endpoint-file discovery)",
+    )
+    p_submit.add_argument(
+        "--endpoint-file", metavar="FILE",
+        help="explicit endpoint file written by `repro serve`",
+    )
+    p_submit.set_defaults(func=cmd_submit)
 
     p_map = sub.add_parser("map", help="technology-map to the 70nm library")
     p_map.add_argument("input")

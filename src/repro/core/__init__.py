@@ -25,10 +25,18 @@ from .area_recovery import (
 )
 from .sdc import sdc_minimize
 from .analysis import OutputReport, RoundReport, analyze_round, print_round_report
-from .flow import lookahead_flow
+from .flow import (
+    JOB_FLOWS,
+    execute_optimize_job,
+    job_config_key,
+    lookahead_flow,
+    make_job_optimizer,
+    normalize_job_config,
+)
 from .lookahead import (
     TT_MODE_PI_LIMIT,
     LookaheadOptimizer,
+    make_runtime_optimizer,
     optimize_lookahead,
 )
 
@@ -65,8 +73,14 @@ __all__ = [
     "remove_redundant_edges",
     "sat_sweep",
     "TT_MODE_PI_LIMIT",
+    "JOB_FLOWS",
     "LookaheadOptimizer",
+    "execute_optimize_job",
+    "job_config_key",
     "lookahead_flow",
+    "make_job_optimizer",
+    "make_runtime_optimizer",
+    "normalize_job_config",
     "sdc_minimize",
     "OutputReport",
     "RoundReport",

@@ -10,10 +10,10 @@ sensitizable critical structure.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..aig import AIG
-from .lookahead import LookaheadOptimizer
+from .lookahead import LookaheadOptimizer, make_runtime_optimizer
 
 
 def _make_quality(arrival_times: Optional[Dict[str, int]]):
@@ -124,3 +124,147 @@ def lookahead_flow(
         if optimizer is None:
             opt.close()  # the flow owns optimizers it created
     return current
+
+
+# -- job-shaped entry points (the `repro serve` surface) ----------------------
+#
+# A daemon absorbing a stream of optimize jobs needs the flow in a
+# different shape than the CLI: a job arrives as (circuit, options dict),
+# its options must be validated *before* it is queued (a bad job should
+# be rejected at submit, not crash a runner mid-drain), and jobs with
+# identical options should share one warm optimizer (persistent worker
+# pool, hot in-memory store tier).  These helpers are that shape; the
+# CLI path above them is unchanged.
+
+JOB_FLOWS = ("lookahead", "lookahead-only")
+"""Flows a job may request.  Conventional baselines (sis/abc/dc) are
+deliberately absent: they ignore arrivals and never touch the store, so
+serving them would only burn daemon CPU with no replay win."""
+
+_JOB_OPTION_DEFAULTS: Dict[str, Any] = {
+    "flow": "lookahead",
+    "arrivals": None,
+    "spcf_tier": "auto",
+    "spcf_prefilter": True,
+    "area_recovery": True,
+    "area_effort": "medium",
+    "sat_portfolio": "off",
+    "verify": False,
+}
+
+
+def normalize_job_config(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Validate a job's options dict and fill defaults.
+
+    Returns a plain, JSON-compatible config dict; raises ``ValueError``
+    on anything malformed so the daemon can reject the job at submit
+    time.  Unknown keys are errors too — a typo'd option silently doing
+    nothing is how a client ends up benchmarking the wrong flow.
+    """
+    from ..sat.portfolio import MODES as PORTFOLIO_MODES
+    from .area_recovery import AREA_EFFORTS
+
+    merged = dict(_JOB_OPTION_DEFAULTS)
+    unknown = sorted(set(options or ()) - set(merged))
+    if unknown:
+        raise ValueError(f"unknown job options: {', '.join(unknown)}")
+    merged.update(options or {})
+    if merged["flow"] not in JOB_FLOWS:
+        raise ValueError(
+            f"unknown job flow {merged['flow']!r}; expected one of {JOB_FLOWS}"
+        )
+    if merged["spcf_tier"] not in ("auto", "exact", "overapprox", "signature"):
+        raise ValueError(f"unknown SPCF tier {merged['spcf_tier']!r}")
+    if merged["area_effort"] not in AREA_EFFORTS:
+        raise ValueError(f"unknown area effort {merged['area_effort']!r}")
+    if merged["sat_portfolio"] not in PORTFOLIO_MODES:
+        raise ValueError(
+            f"unknown SAT portfolio mode {merged['sat_portfolio']!r}"
+        )
+    arrivals = merged["arrivals"]
+    if arrivals is not None:
+        if not isinstance(arrivals, dict) or not arrivals:
+            raise ValueError("arrivals must be a non-empty {name: int} map")
+        clean: Dict[str, int] = {}
+        for name, t in arrivals.items():
+            if not isinstance(name, str):
+                raise ValueError(f"arrival name {name!r} is not a string")
+            if isinstance(t, bool) or not isinstance(t, int):
+                raise ValueError(
+                    f"arrival time for {name!r} must be an integer, got {t!r}"
+                )
+            clean[name] = t
+        merged["arrivals"] = clean
+    for key in ("spcf_prefilter", "area_recovery", "verify"):
+        merged[key] = bool(merged[key])
+    return merged
+
+
+def job_config_key(config: Dict[str, Any]) -> Tuple:
+    """Hashable identity of a job config (batching / optimizer reuse).
+
+    Two jobs with equal keys are interchangeable to an optimizer: the
+    daemon batches them onto one warm instance.  ``verify`` is excluded —
+    it gates a post-flow equivalence check, not the optimization itself.
+    """
+    arrivals = config.get("arrivals")
+    return (
+        config["flow"],
+        tuple(sorted(arrivals.items())) if arrivals else None,
+        config["spcf_tier"],
+        config["spcf_prefilter"],
+        config["area_recovery"],
+        config["area_effort"],
+        config["sat_portfolio"],
+    )
+
+
+def make_job_optimizer(
+    config: Dict[str, Any], workers: Optional[int] = None
+) -> LookaheadOptimizer:
+    """A reusable optimizer for every job sharing ``job_config_key``.
+
+    Mirrors the per-flow defaults of the CLI ``FLOWS`` table (so a served
+    answer is bit-identical to a local ``repro optimize`` run with the
+    same store) and wires the cone cache to the *already configured*
+    process runtime store — never reconfiguring it, because the daemon
+    shares one store across every handler and runner thread.
+    """
+    common = dict(
+        arrival_times=config["arrivals"],
+        spcf_tier=config["spcf_tier"],
+        spcf_prefilter=config["spcf_prefilter"],
+        area_recovery=config["area_recovery"],
+        area_effort=config["area_effort"],
+        sat_portfolio=config["sat_portfolio"],
+        workers=workers,
+    )
+    if config["flow"] == "lookahead-only":
+        return make_runtime_optimizer(max_rounds=12, **common)
+    return make_runtime_optimizer(
+        max_rounds=16, max_outputs_per_round=8, **common
+    )
+
+
+def execute_optimize_job(
+    aig: AIG,
+    config: Dict[str, Any],
+    optimizer: Optional[LookaheadOptimizer] = None,
+    workers: Optional[int] = None,
+) -> AIG:
+    """Run one optimize job (a normalized config) against a circuit.
+
+    ``optimizer`` is the daemon's warm per-config instance; when ``None``
+    an ephemeral one is created and closed (the one-shot path used by
+    tests and programmatic callers).
+    """
+    owned = optimizer is None
+    if owned:
+        optimizer = make_job_optimizer(config, workers=workers)
+    try:
+        if config["flow"] == "lookahead-only":
+            return optimizer.optimize(aig)
+        return lookahead_flow(aig, optimizer=optimizer)
+    finally:
+        if owned:
+            optimizer.close()

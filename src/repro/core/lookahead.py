@@ -1070,3 +1070,24 @@ def optimize_lookahead(aig: AIG, **kwargs) -> AIG:
     """One-call convenience wrapper around :class:`LookaheadOptimizer`."""
     with LookaheadOptimizer(**kwargs) as opt:
         return opt.optimize(aig)
+
+
+def make_runtime_optimizer(**kwargs) -> LookaheadOptimizer:
+    """An optimizer wired to the *already configured* runtime store.
+
+    ``LookaheadOptimizer(store=spec)`` calls ``store_runtime.configure``,
+    which tears the previous process store down and builds a fresh one —
+    correct for the one-shot CLI, fatal for a daemon whose handler and
+    runner threads all share the runtime store (a job arriving mid-flight
+    would close the store out from under every other job).  This factory
+    instead backs the optimizer's :class:`ConeCache` with the current
+    runtime store as-is; worker task tuples still ship
+    ``store_runtime.current_spec()``, so pool workers adopt the same
+    backend exactly as on the CLI path.
+    """
+    assert "store" not in kwargs, (
+        "make_runtime_optimizer wires the runtime store itself; "
+        "configure it once via store_runtime.configure"
+    )
+    kwargs.setdefault("cache", ConeCache(store=store_runtime.get_store()))
+    return LookaheadOptimizer(**kwargs)

@@ -201,6 +201,7 @@ class PerfRegistry:
             )
         for pair, label in (
             (("store.hit", "store.miss"), "result store hit rate"),
+            (("serve.store.hit", "serve.store.miss"), "serve store hit rate"),
             (("cache.spcf.hit", "cache.spcf.miss"), "spcf cache hit rate"),
             (("cache.tts.hit", "cache.tts.miss"), "tts cache hit rate"),
             (("cache.dp.hit", "cache.dp.miss"), "spcf DP memo hit rate"),

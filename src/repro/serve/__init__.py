@@ -1,0 +1,27 @@
+"""`repro serve` — the long-lived optimization daemon on the result store.
+
+The daemon (:class:`ReproDaemon`) absorbs optimize jobs over a local
+JSON socket, batches same-config jobs onto warm per-config optimizers
+with persistent worker pools, and answers repeated cones straight from
+the shared persistent store; :class:`ServeClient` is the programmatic
+client behind ``repro submit``.  See DESIGN 3.21 for the protocol and
+failure semantics.
+"""
+
+from .client import ServeClient
+from .daemon import ReproDaemon
+from .protocol import (
+    ProtocolError,
+    ServeError,
+    endpoint_path,
+    read_endpoint,
+)
+
+__all__ = [
+    "ProtocolError",
+    "ReproDaemon",
+    "ServeClient",
+    "ServeError",
+    "endpoint_path",
+    "read_endpoint",
+]

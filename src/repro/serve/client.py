@@ -1,0 +1,147 @@
+"""Client side of the optimize daemon: the `repro submit` machinery.
+
+:class:`ServeClient` is a tiny synchronous connection-per-request
+client — the protocol is one JSON line each way, so holding sockets
+open buys nothing and a fresh connect keeps every request independent
+of daemon restarts.
+
+Resolution order for *where the daemon is* mirrors how it advertises
+itself: an explicit ``HOST:PORT`` wins; otherwise the endpoint file
+next to the store database (``<store>.serve.json``, falling back to
+the default store location) names the live daemon.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+from typing import Any, Dict, Optional, Union
+
+from ..aig import AIG, write_aag
+from .protocol import (
+    ServeError,
+    endpoint_path,
+    parse_hostport,
+    read_endpoint,
+    recv_message,
+    send_message,
+)
+
+CONNECT_TIMEOUT_S = 10.0
+
+
+def _circuit_text(circuit: Union[AIG, str]) -> str:
+    if isinstance(circuit, str):
+        return circuit
+    buf = io.StringIO()
+    write_aag(circuit, buf)
+    return buf.getvalue()
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = None
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def resolve(
+        cls,
+        endpoint: Optional[str] = None,
+        store: Optional[str] = None,
+        endpoint_file: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> "ServeClient":
+        """Locate the daemon (explicit endpoint > endpoint file)."""
+        if endpoint:
+            host, port = parse_hostport(endpoint)
+        else:
+            record = read_endpoint(endpoint_file or endpoint_path(store))
+            host, port = record["host"], int(record["port"])
+        return cls(host, port, timeout=timeout)
+
+    def request(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One round-trip; raises :class:`ServeError` on failure."""
+        if timeout is None:
+            timeout = self.timeout
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=CONNECT_TIMEOUT_S
+            ) as sock:
+                send_message(sock, message)
+                # Switch to the op timeout once connected: a submit waits
+                # for the whole optimization, not a connect round-trip.
+                sock.settimeout(timeout)
+                with sock.makefile("rb") as fh:
+                    response = recv_message(fh)
+        except socket.timeout:
+            raise ServeError(
+                f"daemon did not answer within {timeout}s", "client-timeout"
+            ) from None
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.host}:{self.port}: {exc}",
+                code="no-daemon",
+            ) from None
+        if response is None:
+            raise ServeError("daemon closed the connection", "no-daemon")
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", "unknown daemon error"),
+                code=response.get("code", "error"),
+            )
+        return response
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            self.request({"op": "ping"}, timeout=CONNECT_TIMEOUT_S)
+            return True
+        except ServeError:
+            return False
+
+    def status(self) -> Dict[str, Any]:
+        return self.request(
+            {"op": "status"}, timeout=CONNECT_TIMEOUT_S
+        )["status"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"}, timeout=CONNECT_TIMEOUT_S)
+
+    def submit(
+        self,
+        circuit: Union[AIG, str],
+        options: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        fmt: str = "aag",
+        return_circuit: bool = True,
+    ) -> Dict[str, Any]:
+        """Optimize one circuit; returns the job's ``result`` dict.
+
+        ``circuit`` is an :class:`AIG` or raw AIGER/BLIF text; ``options``
+        are the job options (flow, arrivals, tiers — see
+        :func:`repro.core.flow.normalize_job_config`).  Blocks until the
+        daemon answers; ``timeout`` is the per-job budget enforced by the
+        daemon's watchdog (its default when ``None``).
+        """
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "circuit": _circuit_text(circuit),
+            "format": fmt,
+            "options": options or {},
+            "return_circuit": return_circuit,
+        }
+        if timeout is not None:
+            message["timeout"] = timeout
+        # The client-side wait must outlive the daemon-side watchdog so
+        # timeouts are reported by the daemon (with counters), not by a
+        # socket error racing it.
+        wait = None if timeout is None else timeout + 60.0
+        return self.request(message, timeout=wait)["result"]

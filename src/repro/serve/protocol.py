@@ -1,0 +1,152 @@
+"""Wire protocol and endpoint discovery for the optimize daemon.
+
+The daemon speaks newline-delimited JSON over a loopback TCP socket: one
+request object per connection, one response object back.  JSON because
+every field is text/ints anyway (circuits travel as ASCII AIGER), and
+newline framing because the payloads contain no raw newlines after
+``json.dumps`` — a client in any language is a ``connect; write line;
+read line``.
+
+Requests are ``{"op": ..., ...}``; ops and their fields:
+
+* ``submit`` — ``circuit`` (AIGER/BLIF text), ``format`` ("aag"|"blif",
+  default "aag"), ``options`` (job options dict, see
+  :func:`repro.core.flow.normalize_job_config`), ``timeout`` (seconds),
+  ``return_circuit`` (bool, default true).  Blocks until the job
+  finishes, times out, or is rejected.
+* ``status`` — live daemon snapshot (queue depth, jobs in flight,
+  counters, latency percentiles, store stats).
+* ``ping`` — liveness probe.
+* ``shutdown`` — ``drain`` (bool, default true): ack immediately, then
+  stop accepting, finish queued jobs, and exit.
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg,
+"code": slug}``.
+
+**Endpoint discovery.**  The daemon binds an ephemeral port by default
+and records ``{"host", "port", "pid", "store"}`` in an *endpoint file*
+next to the store database (``<store>.serve.json``), so clients need
+only the store path they already share with the daemon.  A stale file
+(daemon gone) is detected by the connect failing, not by PID liveness
+guesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+DEFAULT_HOST = "127.0.0.1"
+
+MAX_MESSAGE_BYTES = 256 << 20
+"""Upper bound on one framed message; far above any real circuit, low
+enough that a garbage peer cannot balloon daemon memory."""
+
+ENDPOINT_SUFFIX = ".serve.json"
+
+
+class ServeError(Exception):
+    """Client-visible serve failure (connection, rejection, protocol)."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServeError):
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="protocol")
+
+
+def send_message(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Frame and send one message (object -> one JSON line)."""
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    sock.sendall(data)
+
+
+def recv_message(fh) -> Optional[Dict[str, Any]]:
+    """Read one framed message from a socket file; ``None`` on EOF."""
+    line = fh.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError("message exceeds MAX_MESSAGE_BYTES")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed message: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("message is not a JSON object")
+    return obj
+
+
+def error_response(message: str, code: str = "error") -> Dict[str, Any]:
+    return {"ok": False, "error": message, "code": code}
+
+
+# -- endpoint files ----------------------------------------------------------
+
+
+def endpoint_path(store_path: Optional[str]) -> str:
+    """Where a daemon over ``store_path`` advertises its endpoint.
+
+    A storeless (in-memory) daemon falls back to the conventional store
+    location so `repro submit` with no flags still finds it.
+    """
+    if store_path is None:
+        from ..store.runtime import default_store_path
+
+        store_path = default_store_path()
+    return store_path + ENDPOINT_SUFFIX
+
+
+def write_endpoint(
+    path: str, host: str, port: int, store: Optional[str]
+) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    record = {"host": host, "port": port, "pid": os.getpid(), "store": store}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(record, fh)
+    os.replace(tmp, path)  # atomic: clients never read a torn file
+
+
+def read_endpoint(path: str) -> Dict[str, Any]:
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except OSError:
+        raise ServeError(
+            f"no daemon endpoint at {path} (is `repro serve` running?)",
+            code="no-daemon",
+        ) from None
+    except ValueError as exc:
+        raise ServeError(f"corrupt endpoint file {path}: {exc}") from None
+    if not isinstance(record, dict) or "port" not in record:
+        raise ServeError(f"corrupt endpoint file {path}")
+    record.setdefault("host", DEFAULT_HOST)
+    return record
+
+
+def remove_endpoint(path: str) -> None:
+    """Best-effort removal, but only of *our* endpoint record."""
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+        if isinstance(record, dict) and record.get("pid") == os.getpid():
+            os.remove(path)
+    except (OSError, ValueError):
+        pass
+
+
+def parse_hostport(text: str) -> Tuple[str, int]:
+    """``host:port`` (or bare ``:port`` / ``port``) -> (host, port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    try:
+        return host or DEFAULT_HOST, int(port)
+    except ValueError:
+        raise ServeError(f"bad endpoint {text!r}; expected HOST:PORT") from None

@@ -100,17 +100,25 @@ def configure(spec: StoreSpec) -> ResultStore:
     """Install the process's runtime store from a spec and return it.
 
     ``None`` reverts to the default in-memory store.  A previous store
-    built by this process is closed first.
+    built by this process is closed once the new one is in place.
+
+    The new spec is resolved *before* anything is torn down: if
+    ``resolve_store`` raises (e.g. an unwritable database path), the
+    exception propagates with the previous store still installed and
+    fully functional — configuring a bad store must never leave the
+    runtime half-updated (new spec recorded, no store behind it).
     """
-    pid = os.getpid()
-    if _state["store"] is not None and _state["pid"] == pid:
-        _state["store"].close()
     if isinstance(spec, str):
         # A bare path gets the standard namespace bounds.
         spec = make_config(spec)
+    new_store = resolve_store(spec) if spec is not None else None
+    pid = os.getpid()
+    old_store = _state["store"] if _state["pid"] == pid else None
     _state["spec"] = spec if not isinstance(spec, ResultStore) else None
-    _state["store"] = resolve_store(spec) if spec is not None else None
+    _state["store"] = new_store
     _state["pid"] = pid
+    if old_store is not None and old_store is not new_store:
+        old_store.close()
     return get_store()
 
 

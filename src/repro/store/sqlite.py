@@ -11,15 +11,29 @@ payload.  Design points:
   writers are *safe* (SQLite serializes them through the write lock and a
   generous busy timeout) just not fast; a loaded deployment should keep
   one writer per namespace.
+* **Thread safety** — the connection is opened with
+  ``check_same_thread=False`` so daemon handler/runner threads can share
+  one store, and a per-store :class:`threading.RLock` serializes every
+  use of the connection (``sqlite3`` serializes individual statements,
+  but our execute/fetch and error/rebuild sequences span several calls
+  and would otherwise interleave cursor state between threads).
 * **Schema versioning** — ``meta`` records the schema and payload-codec
   versions this file was written with.  A mismatch on open wipes the
   tables and starts cold: a stale format is self-invalidating, never
   misread.
 * **Corruption = cold start, never a crash** — a file that does not
   parse as a database (truncated, garbage, wrong format) is deleted and
-  rebuilt; a row that fails payload decoding reads as a miss.  Losing a
-  cache is always acceptable; serving a wrong payload or taking the
-  optimizer down is not.
+  rebuilt; a row that fails payload decoding reads as a miss.  If the
+  rebuild itself keeps failing (e.g. the parent directory becomes
+  unwritable mid-run), the store *degrades* after
+  :data:`MAX_REBUILD_ATTEMPTS` consecutive failures instead of
+  propagating: reads return ``MISSING``, writes are dropped, and the
+  ``store.degraded`` counter records the transition.  Losing a cache is
+  always acceptable; serving a wrong payload or taking the optimizer
+  down is not.  Only *construction* of a store over an unusable path
+  raises — that is a configuration error the caller must see (and
+  :func:`repro.store.runtime.configure` relies on it to leave the
+  previous store installed).
 * **Fork safety** — SQLite connections must not cross ``fork()``.  Every
   operation checks the owning PID and transparently reopens in a child
   process (the parent's connection is dropped unclosed there; closing it
@@ -33,6 +47,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 import time
 from typing import Any, Dict, Optional
 
@@ -53,6 +68,10 @@ SCHEMA_VERSION = 1
 BUSY_TIMEOUT_MS = 10_000
 """How long a writer waits on the database lock before erroring."""
 
+MAX_REBUILD_ATTEMPTS = 3
+"""Consecutive failed cold rebuilds before the store degrades to a
+read-as-miss / drop-writes stub (see the module docstring)."""
+
 
 class SqliteStore(ResultStore):
     """Durable result store over one SQLite file."""
@@ -63,19 +82,32 @@ class SqliteStore(ResultStore):
         self.path = path
         self._conn: Optional[sqlite3.Connection] = None
         self._pid = -1
-        self._connect()
+        # RLock: the op -> error -> _rebuild path re-enters with the lock
+        # already held.
+        self._lock = threading.RLock()
+        self._rebuild_failures = 0
+        self._degraded = False
+        self._connect(initial=True)
 
     # -- connection & schema lifecycle -------------------------------------
 
-    def _connect(self) -> None:
+    def _connect(self, initial: bool = False) -> None:
+        """(Re)open the database; ``initial`` raises on an unusable path."""
+        self._pid = os.getpid()
         parent = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(parent, exist_ok=True)
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError:
+            if initial:
+                raise  # unusable path at construction: surface it
+            self._note_rebuild_failure()
+            return
         try:
             self._conn = self._open()
+            self._rebuild_failures = 0
         except sqlite3.Error:
             # Unreadable database: rebuild cold rather than crash.
-            self._rebuild()
-        self._pid = os.getpid()
+            self._rebuild(initial=initial)
 
     def _open(self) -> sqlite3.Connection:
         conn = sqlite3.connect(
@@ -125,23 +157,56 @@ class SqliteStore(ResultStore):
             raise
         return conn
 
-    def _rebuild(self) -> None:
-        """Delete the damaged file (and WAL sidecars) and start cold."""
-        perf.incr("store.rebuilds")
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-            self._conn = None
-        for suffix in ("", "-wal", "-shm"):
-            try:
-                os.remove(self.path + suffix)
-            except OSError:
-                pass
-        self._conn = self._open()
+    def _rebuild(self, initial: bool = False) -> None:
+        """Delete the damaged file (and WAL sidecars) and start cold.
 
-    def _db(self) -> sqlite3.Connection:
+        Never raises mid-run: a rebuild whose fresh ``_open`` fails counts
+        toward :data:`MAX_REBUILD_ATTEMPTS`, after which the store
+        degrades (reads miss, writes drop) rather than crash the caller.
+        ``initial`` (construction) re-raises instead — an unusable path is
+        a configuration error, not runtime damage.
+        """
+        with self._lock:
+            if self._degraded:
+                return
+            perf.incr("store.rebuilds")
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.remove(self.path + suffix)
+                except OSError:
+                    pass
+            try:
+                self._conn = self._open()
+                self._rebuild_failures = 0
+            except (sqlite3.Error, OSError):
+                if initial:
+                    raise
+                self._note_rebuild_failure()
+
+    def _note_rebuild_failure(self) -> None:
+        self._rebuild_failures += 1
+        if (
+            self._rebuild_failures >= MAX_REBUILD_ATTEMPTS
+            and not self._degraded
+        ):
+            self._degraded = True
+            perf.incr("store.degraded")
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the store gave up rebuilding and now drops all traffic."""
+        return self._degraded
+
+    def _db(self) -> Optional[sqlite3.Connection]:
+        """The live connection, or ``None`` when the store is degraded."""
+        if self._degraded:
+            return None
         if self._pid != os.getpid():
             # Forked child: the inherited connection belongs to the
             # parent.  Drop the reference without closing and reopen.
@@ -155,16 +220,21 @@ class SqliteStore(ResultStore):
 
     def get(self, ns: str, key: Any) -> Any:
         start = time.perf_counter()
-        try:
-            row = self._db().execute(
-                "SELECT value FROM entries WHERE ns = ? AND key = ?",
-                (ns, encode_key(key)),
-            ).fetchone()
-        except sqlite3.Error:
-            self._rebuild()
-            return MISSING
-        finally:
-            perf.observe("store.load", time.perf_counter() - start)
+        with self._lock:
+            try:
+                conn = self._db()
+                if conn is None:
+                    perf.incr("store.degraded.drops")
+                    return MISSING
+                row = conn.execute(
+                    "SELECT value FROM entries WHERE ns = ? AND key = ?",
+                    (ns, encode_key(key)),
+                ).fetchone()
+            except (sqlite3.Error, OSError):
+                self._rebuild()
+                return MISSING
+            finally:
+                perf.observe("store.load", time.perf_counter() - start)
         if row is None:
             return MISSING
         try:
@@ -175,14 +245,19 @@ class SqliteStore(ResultStore):
 
     def put(self, ns: str, key: Any, value: Any) -> None:
         payload = dumps(value)  # encode before touching the DB
-        try:
-            self._db().execute(
-                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
-                (ns, encode_key(key), str(key_fingerprint(key)), payload),
-            )
-        except sqlite3.Error:
-            # A failed write loses one memo entry, nothing else.
-            self._rebuild()
+        with self._lock:
+            try:
+                conn = self._db()
+                if conn is None:
+                    perf.incr("store.degraded.drops")
+                    return
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+                    (ns, encode_key(key), str(key_fingerprint(key)), payload),
+                )
+            except (sqlite3.Error, OSError):
+                # A failed write loses one memo entry, nothing else.
+                self._rebuild()
 
     def invalidate(
         self, ns: Optional[str] = None, fingerprint: Optional[int] = None
@@ -197,20 +272,30 @@ class SqliteStore(ResultStore):
         sql = "DELETE FROM entries"
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
-        try:
-            return self._db().execute(sql, params).rowcount
-        except sqlite3.Error:
-            self._rebuild()
-            return 0
+        with self._lock:
+            try:
+                conn = self._db()
+                if conn is None:
+                    perf.incr("store.degraded.drops")
+                    return 0
+                return conn.execute(sql, params).rowcount
+            except (sqlite3.Error, OSError):
+                self._rebuild()
+                return 0
 
     def stats(self) -> Dict[str, Dict[str, Any]]:
-        try:
-            rows = self._db().execute(
-                "SELECT ns, COUNT(*) FROM entries GROUP BY ns"
-            ).fetchall()
-        except sqlite3.Error:
-            self._rebuild()
-            return {}
+        with self._lock:
+            try:
+                conn = self._db()
+                if conn is None:
+                    perf.incr("store.degraded.drops")
+                    return {}
+                rows = conn.execute(
+                    "SELECT ns, COUNT(*) FROM entries GROUP BY ns"
+                ).fetchall()
+            except (sqlite3.Error, OSError):
+                self._rebuild()
+                return {}
         return {ns: {"entries": count} for ns, count in rows}
 
     def file_size(self) -> int:
@@ -220,12 +305,13 @@ class SqliteStore(ResultStore):
             return 0
 
     def close(self) -> None:
-        if self._conn is not None and self._pid == os.getpid():
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-        self._conn = None
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+            self._conn = None
 
     def __repr__(self) -> str:
         return f"SqliteStore({self.path!r})"

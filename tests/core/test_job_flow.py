@@ -1,0 +1,63 @@
+"""Job-shaped flow entry points behind `repro serve` (core/flow.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.cec import check_equivalence
+from repro.core import (
+    execute_optimize_job,
+    job_config_key,
+    normalize_job_config,
+)
+from repro.store import runtime as store_runtime
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime():
+    store_runtime.reset()
+    yield
+    store_runtime.reset()
+
+
+class TestNormalize:
+    def test_defaults(self):
+        config = normalize_job_config(None)
+        assert config["flow"] == "lookahead"
+        assert config["arrivals"] is None
+        assert config["verify"] is False
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_job_config({"flwo": "lookahead"})
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_job_config({"flow": "abc"})  # baselines not served
+
+    def test_arrival_validation(self):
+        config = normalize_job_config({"arrivals": {"a0": 3}})
+        assert config["arrivals"] == {"a0": 3}
+        for bad in ({}, {"a0": "3"}, {"a0": True}, {3: 1}, [("a0", 3)]):
+            with pytest.raises(ValueError):
+                normalize_job_config({"arrivals": bad})
+
+    def test_key_ignores_verify_and_arrival_order(self):
+        base = normalize_job_config({"arrivals": {"a": 1, "b": 2}})
+        reordered = normalize_job_config({"arrivals": {"b": 2, "a": 1}})
+        verified = normalize_job_config(
+            {"arrivals": {"a": 1, "b": 2}, "verify": True}
+        )
+        assert job_config_key(base) == job_config_key(reordered)
+        assert job_config_key(base) == job_config_key(verified)
+        other = normalize_job_config({"arrivals": {"a": 1, "b": 3}})
+        assert job_config_key(base) != job_config_key(other)
+
+
+class TestExecute:
+    def test_one_shot_job_matches_local_flow(self):
+        aig = ripple_carry_adder(4)
+        config = normalize_job_config({"flow": "lookahead-only"})
+        out = execute_optimize_job(aig, config, workers=1)
+        assert check_equivalence(aig, out)

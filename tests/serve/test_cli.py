@@ -1,0 +1,172 @@
+"""`repro serve` / `repro submit` as real subprocesses: signals, exits.
+
+The daemon's signal handling (SIGTERM -> drain -> exit 0 -> endpoint
+file removed) can only be observed from outside the process, so these
+tests boot the actual CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.adders import ripple_carry_adder
+from repro.aig import write_aag
+from repro.cli import main as cli_main
+
+SRC = os.path.join(
+    os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ),
+    "src",
+)
+
+
+def _write_rca(path, width=4):
+    with open(path, "w") as fh:
+        write_aag(ripple_carry_adder(width), fh)
+
+
+def _spawn_daemon(tmp_path, *extra):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(tmp_path / "store.db"),
+            "--workers", "1",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    endpoint = tmp_path / "store.db.serve.json"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if endpoint.exists():
+            return proc, endpoint
+        if proc.poll() is not None:
+            break
+        time.sleep(0.1)
+    out, _ = proc.communicate(timeout=10)
+    raise AssertionError(f"daemon never advertised: {out.decode()}")
+
+
+def _submit(tmp_path, circuit, *extra):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro", "submit", str(circuit),
+            "--store", str(tmp_path / "store.db"),
+            *extra,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestServeLifecycle:
+    def test_round_trip_warm_resubmit_and_sigterm_drain(self, tmp_path):
+        circuit = tmp_path / "c.aag"
+        _write_rca(circuit)
+        proc, endpoint = _spawn_daemon(tmp_path)
+        try:
+            out1 = tmp_path / "out1.aag"
+            out2 = tmp_path / "out2.aag"
+            r1 = _submit(tmp_path, circuit, "-o", str(out1))
+            assert r1.returncode == 0, r1.stderr
+            assert "serve[lookahead]" in r1.stdout
+            r2 = _submit(tmp_path, circuit, "-o", str(out2))
+            assert r2.returncode == 0, r2.stderr
+            # Bit-identical answer, served warm from the shared store.
+            assert out1.read_text() == out2.read_text()
+
+            env = dict(os.environ, PYTHONPATH=SRC)
+            status = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "serve", "--status",
+                    "--store", str(tmp_path / "store.db"),
+                ],
+                env=env, capture_output=True, text=True, timeout=60,
+            )
+            assert status.returncode == 0, status.stderr
+            snap = json.loads(status.stdout)
+            assert snap["jobs"]["completed"] == 2
+            assert snap["store_hits"] > 0  # the resubmit hit the store
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out.decode()
+        assert b"drained" in out
+        assert not endpoint.exists()  # advertised endpoint cleaned up
+
+    def test_sigterm_on_idle_daemon_exits_zero(self, tmp_path):
+        proc, endpoint = _spawn_daemon(tmp_path)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out.decode()
+        assert not endpoint.exists()
+
+    def test_stop_probe_drains_daemon(self, tmp_path):
+        proc, _ = _spawn_daemon(tmp_path)
+        env = dict(os.environ, PYTHONPATH=SRC)
+        stop = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve", "--stop",
+                "--store", str(tmp_path / "store.db"),
+            ],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert stop.returncode == 0, stop.stderr
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out.decode()
+
+
+class TestClientErrors:
+    def test_submit_without_daemon_fails_cleanly(self, tmp_path, capsys):
+        circuit = tmp_path / "c.aag"
+        _write_rca(circuit)
+        rc = cli_main(
+            [
+                "submit", str(circuit),
+                "--store", str(tmp_path / "no-daemon.db"),
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_without_daemon_fails_cleanly(self, tmp_path, capsys):
+        rc = cli_main(
+            [
+                "serve", "--status",
+                "--store", str(tmp_path / "no-daemon.db"),
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_to_stale_endpoint_reports_no_daemon(self, tmp_path, capsys):
+        circuit = tmp_path / "c.aag"
+        _write_rca(circuit)
+        # An endpoint file whose daemon is gone: connect must fail fast.
+        stale = tmp_path / "no-daemon.db.serve.json"
+        stale.write_text(
+            json.dumps({"host": "127.0.0.1", "port": 1, "pid": -1})
+        )
+        rc = cli_main(
+            [
+                "submit", str(circuit),
+                "--store", str(tmp_path / "no-daemon.db"),
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

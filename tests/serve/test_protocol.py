@@ -1,0 +1,96 @@
+"""Wire framing and endpoint-file discovery for the optimize daemon."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.serve import ProtocolError, ServeError, endpoint_path
+from repro.serve.protocol import (
+    DEFAULT_HOST,
+    MAX_MESSAGE_BYTES,
+    parse_hostport,
+    read_endpoint,
+    recv_message,
+    remove_endpoint,
+    write_endpoint,
+)
+
+
+class TestFraming:
+    def _recv(self, raw: bytes):
+        return recv_message(io.BytesIO(raw))
+
+    def test_roundtrip(self):
+        obj = {"op": "submit", "circuit": "aag 0 0 0 0 0\n", "n": 3}
+        line = json.dumps(obj).encode() + b"\n"
+        assert self._recv(line) == obj
+
+    def test_eof_is_none(self):
+        assert self._recv(b"") is None
+
+    def test_garbage_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            self._recv(b"this is not json\n")
+
+    def test_non_object_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            self._recv(b"[1, 2, 3]\n")
+
+    def test_oversized_message_rejected(self):
+        class HugeLine:
+            def readline(self, limit):
+                return b"x" * (MAX_MESSAGE_BYTES + 1)
+
+        with pytest.raises(ProtocolError):
+            recv_message(HugeLine())
+
+
+class TestHostport:
+    def test_full(self):
+        assert parse_hostport("10.0.0.1:4321") == ("10.0.0.1", 4321)
+
+    def test_bare_port(self):
+        assert parse_hostport("4321") == (DEFAULT_HOST, 4321)
+        assert parse_hostport(":4321") == (DEFAULT_HOST, 4321)
+
+    def test_bad_port_raises(self):
+        with pytest.raises(ServeError):
+            parse_hostport("host:not-a-port")
+
+
+class TestEndpointFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = endpoint_path(str(tmp_path / "store.db"))
+        assert path.endswith("store.db.serve.json")
+        write_endpoint(path, "127.0.0.1", 12345, str(tmp_path / "store.db"))
+        record = read_endpoint(path)
+        assert record["host"] == "127.0.0.1"
+        assert record["port"] == 12345
+        assert record["pid"] == os.getpid()
+
+    def test_read_missing_is_no_daemon(self, tmp_path):
+        with pytest.raises(ServeError) as exc:
+            read_endpoint(str(tmp_path / "absent.serve.json"))
+        assert exc.value.code == "no-daemon"
+
+    def test_read_corrupt_raises(self, tmp_path):
+        path = tmp_path / "ep.serve.json"
+        path.write_text("{truncated")
+        with pytest.raises(ServeError):
+            read_endpoint(str(path))
+
+    def test_remove_only_own_record(self, tmp_path):
+        path = str(tmp_path / "ep.serve.json")
+        # A record owned by some other (dead) daemon stays put ...
+        with open(path, "w") as fh:
+            json.dump({"host": "h", "port": 1, "pid": -1}, fh)
+        remove_endpoint(path)
+        assert os.path.exists(path)
+        # ... our own record is removed.
+        write_endpoint(path, "127.0.0.1", 2, None)
+        remove_endpoint(path)
+        assert not os.path.exists(path)

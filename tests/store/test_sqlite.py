@@ -233,3 +233,142 @@ class TestConcurrency:
         assert reader.get("ns", (1,)) == "v2"
         writer.close()
         reader.close()
+
+
+class TestThreadSafety:
+    def test_multithreaded_hammer(self, tmp_path):
+        """Daemon-shaped load: one store shared by many threads.
+
+        ``check_same_thread=False`` alone is not thread safety — the
+        per-store lock must serialize the execute/fetch (and
+        error/rebuild) sequences.  Eight threads is above the default
+        daemon thread count (listener + handlers + runners).
+        """
+        import threading
+
+        store = _store(tmp_path)
+        nthreads, per_thread = 8, 60
+        barrier = threading.Barrier(nthreads)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    key = (tid, i)
+                    store.put("hammer", key, ["payload", tid, i])
+                    assert store.get("hammer", key) == ["payload", tid, i]
+                    if i % 7 == 0:
+                        store.get("hammer", (tid, i, "absent"))
+                    if i % 13 == 0:
+                        store.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert store.entries("hammer") == nthreads * per_thread
+        for tid in range(nthreads):
+            for i in (0, per_thread - 1):
+                assert store.get("hammer", (tid, i)) == ["payload", tid, i]
+        store.close()
+
+    def test_invalidate_races_writers(self, tmp_path):
+        """invalidate() interleaved with puts never crashes or corrupts."""
+        import threading
+
+        store = _store(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                i = 0
+                while not stop.is_set():
+                    store.put("race", (i,), i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def invalidator():
+            try:
+                for _ in range(25):
+                    store.invalidate("race")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        inv = threading.Thread(target=invalidator)
+        inv.start()
+        inv.join(timeout=120)
+        stop.set()
+        w.join(timeout=120)
+        assert not errors, errors
+        store.stats()  # still a usable database
+        store.close()
+
+
+class TestDegradedMode:
+    def _wedge(self, store, monkeypatch):
+        """Make every reopen attempt fail, as an unwritable disk would."""
+
+        def broken_open():
+            raise sqlite3.OperationalError("disk gone")
+
+        monkeypatch.setattr(store, "_open", broken_open)
+        store._conn.close()  # next use hits the error path
+        store._conn = None
+
+    def test_repeated_rebuild_failures_degrade_not_crash(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store.sqlite import MAX_REBUILD_ATTEMPTS
+
+        store = _store(tmp_path)
+        store.put("ns", (1,), "v")
+        self._wedge(store, monkeypatch)
+        base = perf.counter("store.degraded")
+        # Every op mid-run survives; after the attempt cap the store
+        # stops trying (degraded) instead of raising out of the memo
+        # layers.
+        for _ in range(MAX_REBUILD_ATTEMPTS + 2):
+            assert store.get("ns", (1,)) is MISSING
+        assert store.degraded
+        assert perf.counter("store.degraded") == base + 1
+
+    def test_degraded_store_drops_traffic_silently(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store.sqlite import MAX_REBUILD_ATTEMPTS
+
+        store = _store(tmp_path)
+        self._wedge(store, monkeypatch)
+        for _ in range(MAX_REBUILD_ATTEMPTS):
+            store.put("ns", (1,), "v")
+        assert store.degraded
+        drops = perf.counter("store.degraded.drops")
+        store.put("ns", (2,), "w")          # dropped
+        assert store.get("ns", (2,)) is MISSING
+        assert store.invalidate("ns") == 0
+        assert store.stats() == {}
+        assert perf.counter("store.degraded.drops") > drops
+        store.close()  # still clean
+
+    def test_construction_over_unusable_path_raises(self, tmp_path):
+        # The parent "directory" is a file: makedirs cannot succeed.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        try:
+            SqliteStore(str(blocker / "sub" / "results.db"))
+        except OSError:
+            pass
+        else:
+            raise AssertionError("construction must surface a bad path")

@@ -215,3 +215,39 @@ class TestCli:
         final = SqliteStore(path)
         assert final.stats() == {}
         final.close()
+
+
+class TestConfigureFailure:
+    """Regression: a failing configure() must not half-update the runtime.
+
+    The old order closed the previous store *before* resolving the new
+    spec; when resolution raised, the process was left with a recorded
+    spec but a closed (or missing) store behind it.  The new spec must be
+    resolved first, and only then swapped in.
+    """
+
+    def _bad_path(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        return str(blocker / "sub" / "results.db")
+
+    def test_failed_configure_keeps_previous_store(self, tmp_path):
+        good = str(tmp_path / "good.db")
+        store = store_runtime.configure(good)
+        store.put("ns", (1,), "kept")
+        with pytest.raises(OSError):
+            store_runtime.configure(self._bad_path(tmp_path))
+        # Previous store still installed, still open, still answering.
+        assert store_runtime.get_store() is store
+        assert store.get("ns", (1,)) == "kept"
+        spec = store_runtime.current_spec()
+        assert spec is not None and spec.path == good
+
+    def test_failed_configure_from_default_store(self, tmp_path):
+        before = store_runtime.get_store()  # default in-memory store
+        before.put("ns", (1,), "kept")
+        with pytest.raises(OSError):
+            store_runtime.configure(self._bad_path(tmp_path))
+        assert store_runtime.get_store() is before
+        assert before.get("ns", (1,)) == "kept"
+        assert store_runtime.current_spec() is None
