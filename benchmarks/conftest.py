@@ -1,79 +1,88 @@
 """Shared infrastructure for the reproduction benches.
 
-Flow results are cached per (circuit, flow) so the gates/levels/delay/power
-metrics of one Table 2 row are computed from a single optimization run, and
-the printed tables aggregate across parametrized benchmark items.
+The definition of a Table 2 row (flows, effort scaling, metrics) lives
+in :mod:`repro.bench.table2` so the pytest benches, the sharded
+orchestrator (`repro bench`) and the golden QoR suite agree on it; this
+conftest only adds the pytest-side conveniences: a per-session result
+cache so the four metrics of one row come from a single optimization
+run, and a terminal-summary hook that prints the aggregated table after
+the benched items finish (the printer is *not* a benchmark, so it never
+pollutes timing data).
 """
 
 from __future__ import annotations
 
-import os
-from typing import Callable, Dict, Tuple
+from typing import Dict, Tuple
 
-import pytest
+from repro.bench.table2 import (
+    BASELINES,
+    QUICK_SET,
+    circuit_names,
+    flow_functions,
+    get_circuit,
+    quick_mode,
+    run_flow_row,
+)
 
-from repro.aig import AIG, depth
-from repro.cec import check_equivalence
-from repro.core import LookaheadOptimizer, lookahead_flow
-from repro.mapping import dynamic_power_uw, map_aig, mapped_delay
-from repro.opt import abc_resyn2rs, dc_map_effort_high, sis_best
-
-
-def lookahead_effort_scaled(aig: AIG) -> AIG:
-    """The Lookahead column with effort scaled to circuit size.
-
-    Small circuits get the full flow; large ones get bounded rounds and a
-    single conventional/decomposition alternation so the 15-circuit table
-    regenerates in about an hour of CPU.  The flow is never worse than the
-    DC baseline regardless of the effort setting.
-    """
-    ands = aig.num_ands()
-    if ands <= 800:
-        return lookahead_flow(aig)
-    if ands <= 2200:
-        opt = LookaheadOptimizer(
-            max_rounds=4, max_outputs_per_round=6, sim_width=512,
-            walk_modes=("target",),
-        )
-        return lookahead_flow(aig, opt, max_iterations=2)
-    opt = LookaheadOptimizer(
-        max_rounds=3, max_outputs_per_round=4, sim_width=512,
-        walk_modes=("target",),
-    )
-    return lookahead_flow(aig, opt, max_iterations=1)
-
-
-FLOWS: Dict[str, Callable[[AIG], AIG]] = {
-    "SIS": sis_best,
-    "ABC": abc_resyn2rs,
-    "DC": dc_map_effort_high,
-    "Lookahead": lookahead_effort_scaled,
-}
+FLOWS = flow_functions()
 
 _flow_cache: Dict[Tuple[str, str], dict] = {}
 
 
-def run_flow(circuit_name: str, flow_name: str, aig: AIG) -> dict:
+def run_flow(circuit_name: str, flow_name: str, aig=None) -> dict:
     """Optimize, equivalence-check, map, and measure one table cell."""
     key = (circuit_name, flow_name)
-    if key in _flow_cache:
-        return _flow_cache[key]
-    optimized = FLOWS[flow_name](aig)
-    if not check_equivalence(aig, optimized):
-        raise AssertionError(
-            f"{flow_name} broke {circuit_name}: not equivalent"
+    if key not in _flow_cache:
+        _flow_cache[key] = run_flow_row(circuit_name, flow_name, aig=aig)
+    return _flow_cache[key]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the aggregated Table 2 rows computed during the session."""
+    names = [n for n in circuit_names() if (n, "Lookahead") in _flow_cache]
+    if not names:
+        return
+    flows = [f for f in FLOWS if any((n, f) in _flow_cache for n in names)]
+    tw = terminalreporter
+    tw.section("Table 2: benchmark comparison")
+    tw.write_line("per flow: gates/levels/delay ps/power uW")
+    tw.write_line(
+        f"{'circuit':24s}" + "".join(f"{f:>34}" for f in flows)
+    )
+    for name in names:
+        cells = []
+        for flow in flows:
+            row = _flow_cache.get((name, flow))
+            if row is None:
+                cells.append("—")
+                continue
+            cells.append(
+                f"{row['gates']:6d}/{row['levels']:3d}/"
+                f"{row['delay_ps']:7.0f}/{row['power_uw']:8.1f}"
+            )
+        tw.write_line(f"{name:24s}" + "".join(f"{c:>34}" for c in cells))
+
+    tw.write_line("")
+    tw.write_line("Average reduction of Lookahead vs baselines:")
+    for baseline in BASELINES:
+        level_red = []
+        delay_red = []
+        power_ratio = []
+        for name in names:
+            base = _flow_cache.get((name, baseline))
+            look = _flow_cache.get((name, "Lookahead"))
+            if not base or not look:
+                continue
+            if base["levels"]:
+                level_red.append(1 - look["levels"] / base["levels"])
+            if base["delay_ps"]:
+                delay_red.append(1 - look["delay_ps"] / base["delay_ps"])
+            if base["power_uw"]:
+                power_ratio.append(look["power_uw"] / base["power_uw"])
+        if not level_red:
+            continue
+        tw.write_line(
+            f"  vs {baseline:3s}: levels -{100 * sum(level_red) / len(level_red):5.1f}%"
+            f"   delay -{100 * sum(delay_red) / len(delay_red):5.1f}%"
+            f"   power x{sum(power_ratio) / len(power_ratio):4.2f}"
         )
-    netlist = map_aig(optimized)
-    row = {
-        "gates": optimized.num_ands(),
-        "levels": depth(optimized),
-        "delay_ps": mapped_delay(netlist),
-        "power_uw": dynamic_power_uw(netlist),
-    }
-    _flow_cache[key] = row
-    return row
-
-
-def quick_mode() -> bool:
-    """REPRO_BENCH_QUICK=1 restricts Table 2 to the small circuits."""
-    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"

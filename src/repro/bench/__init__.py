@@ -1,4 +1,4 @@
-"""Benchmark circuit suite (Table 2 stand-ins)."""
+"""Benchmark circuit suite (Table 2 stand-ins) and the bench orchestrator."""
 
 from . import blocks
 from .fabric import control_fabric

@@ -7,6 +7,10 @@ Usage (also via ``python -m repro``):
     python -m repro optimize circuit.aag --arrival-file arrivals.json
     python -m repro map     circuit.aag -o out.v
     python -m repro bench   --circuit C432
+    python -m repro bench plan  -o manifest.json --quick
+    python -m repro bench run   --manifest manifest.json --shard 1/2
+    python -m repro bench merge --manifest manifest.json -o BENCH_table2.json
+    python -m repro bench report --experiments EXPERIMENTS.md
     python -m repro fuzz    --seed 0 --budget 60
     python -m repro serve   --store results.db --workers 4
     python -m repro submit  circuit.aag -o out.aag --flow lookahead
@@ -411,6 +415,125 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(value: Optional[str]):
+    if not value:
+        return None
+    return [item for item in (p.strip() for p in value.split(",")) if item]
+
+
+def cmd_bench_plan(args: argparse.Namespace) -> int:
+    from .bench import orchestrator, table2
+
+    circuits = _split_csv(args.circuits)
+    if args.quick:
+        if circuits:
+            print("error: --quick and --circuits are exclusive",
+                  file=sys.stderr)
+            return 1
+        circuits = list(table2.QUICK_SET)
+    try:
+        manifest = orchestrator.plan_manifest(
+            circuits=circuits, flows=_split_csv(args.flows)
+        )
+    except orchestrator.OrchestratorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    orchestrator.write_manifest(manifest, args.output)
+    print(
+        f"planned {len(manifest['jobs'])} jobs "
+        f"({len(manifest['circuits'])} circuits x "
+        f"{len(manifest['flows'])} flows) -> {args.output}\n"
+        f"fingerprint {manifest['fingerprint'][:16]}"
+    )
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench import orchestrator
+    from .serve import ServeClient, ServeError
+
+    if args.workers is not None:
+        os.environ[perf.WORKERS_ENV] = str(args.workers)
+    try:
+        manifest = orchestrator.load_manifest(args.manifest)
+        shard = orchestrator.parse_shard(args.shard)
+    except orchestrator.OrchestratorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    clients = []
+    try:
+        for endpoint in args.endpoint or ():
+            clients.append(
+                ServeClient.resolve(endpoint=endpoint,
+                                    timeout=args.serve_timeout)
+            )
+        for endpoint_file in args.endpoint_file or ():
+            clients.append(
+                ServeClient.resolve(endpoint_file=endpoint_file,
+                                    timeout=args.serve_timeout)
+            )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def log(message: str) -> None:
+        print(f"[shard {args.shard}] {message}", flush=True)
+
+    try:
+        summary = orchestrator.run_shard(
+            manifest,
+            args.jobs_dir,
+            shard=shard,
+            clients=clients or None,
+            max_jobs=args.max_jobs,
+            log=log,
+        )
+    except (orchestrator.OrchestratorError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"shard {args.shard}: ran {summary['run']}, "
+        f"skipped {summary['skipped']} already-done, "
+        f"recomputed {summary['stale']} stale"
+    )
+    return 0
+
+
+def cmd_bench_merge(args: argparse.Namespace) -> int:
+    from .bench import orchestrator
+
+    try:
+        manifest = orchestrator.load_manifest(args.manifest)
+        merged = orchestrator.merge_results(
+            manifest, args.jobs_dir, allow_partial=args.allow_partial
+        )
+    except orchestrator.OrchestratorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    orchestrator.write_merged(merged, args.output)
+    done = sum(len(flows) for flows in merged["rows"].values())
+    print(
+        f"merged {done}/{len(manifest['jobs'])} jobs -> {args.output}"
+    )
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from .bench import orchestrator
+
+    merged = orchestrator.load_merged(args.input)
+    if args.experiments:
+        try:
+            orchestrator.update_experiments(args.experiments, merged)
+        except orchestrator.OrchestratorError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"updated Table 2 section of {args.experiments}")
+    else:
+        print(orchestrator.render_report(merged), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -616,10 +739,108 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-o", "--output", help="gate-level Verilog output")
     p_map.set_defaults(func=cmd_map)
 
-    p_bench = sub.add_parser("bench", help="list/emit benchmark circuits")
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark circuits and the sharded Table 2 orchestrator",
+        description="With no subcommand: list/emit the benchmark "
+                    "circuits.  The plan/run/merge/report subcommands "
+                    "drive the sharded Table 2 benchmark lifecycle.",
+    )
     p_bench.add_argument("--circuit")
     p_bench.add_argument("--output-dir")
     p_bench.set_defaults(func=cmd_bench)
+    bench_sub = p_bench.add_subparsers(dest="bench_command")
+
+    pb_plan = bench_sub.add_parser(
+        "plan", help="expand the per-circuit x per-flow job manifest"
+    )
+    pb_plan.add_argument(
+        "-o", "--output", default="table2_manifest.json", metavar="FILE",
+        help="manifest path (default table2_manifest.json)",
+    )
+    pb_plan.add_argument(
+        "--circuits", metavar="NAME,...",
+        help="restrict to these circuits (default: all 15)",
+    )
+    pb_plan.add_argument(
+        "--flows", metavar="FLOW,...",
+        help="restrict to these flows (default: SIS,ABC,DC,Lookahead)",
+    )
+    pb_plan.add_argument(
+        "--quick", action="store_true",
+        help="plan only the small QUICK_SET circuits",
+    )
+    pb_plan.set_defaults(func=cmd_bench_plan)
+
+    pb_run = bench_sub.add_parser(
+        "run", help="execute one shard of a planned manifest (resumable)"
+    )
+    pb_run.add_argument(
+        "--manifest", default="table2_manifest.json", metavar="FILE"
+    )
+    pb_run.add_argument(
+        "--jobs-dir", default="table2_jobs", metavar="DIR",
+        help="per-job result artifacts (default table2_jobs/)",
+    )
+    pb_run.add_argument(
+        "--shard", default="1/1", metavar="K/N",
+        help="run shard K of N (1-based; default 1/1 = everything)",
+    )
+    pb_run.add_argument(
+        "--endpoint", action="append", metavar="HOST:PORT",
+        help="dispatch Lookahead jobs to this `repro serve` daemon "
+             "(repeatable; round-robin across daemons)",
+    )
+    pb_run.add_argument(
+        "--endpoint-file", action="append", metavar="FILE",
+        help="like --endpoint, via an endpoint file written by "
+             "`repro serve`",
+    )
+    pb_run.add_argument(
+        "--serve-timeout", type=float, default=3600.0, metavar="SECONDS",
+        help="per-job budget for served jobs (default 3600)",
+    )
+    pb_run.add_argument(
+        "--workers", type=int, metavar="N",
+        help=f"worker processes for local jobs (overrides "
+             f"${perf.WORKERS_ENV}; 1 = serial)",
+    )
+    pb_run.add_argument(
+        "--max-jobs", type=int, metavar="N",
+        help="stop after executing N jobs (skips not counted)",
+    )
+    pb_run.set_defaults(func=cmd_bench_run)
+
+    pb_merge = bench_sub.add_parser(
+        "merge", help="fold per-job artifacts into BENCH_table2.json"
+    )
+    pb_merge.add_argument(
+        "--manifest", default="table2_manifest.json", metavar="FILE"
+    )
+    pb_merge.add_argument(
+        "--jobs-dir", default="table2_jobs", metavar="DIR"
+    )
+    pb_merge.add_argument(
+        "-o", "--output", default="BENCH_table2.json", metavar="FILE"
+    )
+    pb_merge.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge even when jobs are missing or stale",
+    )
+    pb_merge.set_defaults(func=cmd_bench_merge)
+
+    pb_report = bench_sub.add_parser(
+        "report", help="render the merged table (stdout or EXPERIMENTS.md)"
+    )
+    pb_report.add_argument(
+        "-i", "--input", default="BENCH_table2.json", metavar="FILE"
+    )
+    pb_report.add_argument(
+        "--experiments", metavar="FILE",
+        help="splice the table between the TABLE2 markers of this file "
+             "instead of printing it",
+    )
+    pb_report.set_defaults(func=cmd_bench_report)
 
     p_fuzz = sub.add_parser(
         "fuzz",

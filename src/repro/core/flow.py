@@ -150,7 +150,20 @@ _JOB_OPTION_DEFAULTS: Dict[str, Any] = {
     "area_effort": "medium",
     "sat_portfolio": "off",
     "verify": False,
+    # Effort knobs (None = the flow's own defaults).  These exist so a
+    # size-scaled benchmark row — e.g. Table 2's bounded-effort Lookahead
+    # column — can be served by a daemon bit-identically to a local run:
+    # the client computes the effort tier from the circuit it holds and
+    # ships the knobs explicitly instead of relying on daemon-side state.
+    "max_rounds": None,
+    "max_outputs_per_round": None,
+    "sim_width": None,
+    "walk_modes": None,
+    "max_iterations": None,
 }
+
+WALK_MODES = ("target", "full")
+"""Admissible critical-walk modes for the ``walk_modes`` job option."""
 
 
 def normalize_job_config(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
@@ -181,6 +194,29 @@ def normalize_job_config(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         raise ValueError(
             f"unknown SAT portfolio mode {merged['sat_portfolio']!r}"
         )
+    for key in (
+        "max_rounds", "max_outputs_per_round", "sim_width", "max_iterations",
+    ):
+        value = merged[key]
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ValueError(f"{key} must be a positive integer, got {value!r}")
+    walk_modes = merged["walk_modes"]
+    if walk_modes is not None:
+        if isinstance(walk_modes, str) or not isinstance(
+            walk_modes, (list, tuple)
+        ) or not walk_modes:
+            raise ValueError(
+                "walk_modes must be a non-empty list of mode names"
+            )
+        unknown_modes = [m for m in walk_modes if m not in WALK_MODES]
+        if unknown_modes:
+            raise ValueError(
+                f"unknown walk modes {unknown_modes!r}; "
+                f"expected a subset of {WALK_MODES}"
+            )
+        merged["walk_modes"] = list(walk_modes)  # JSON-compatible
     arrivals = merged["arrivals"]
     if arrivals is not None:
         if not isinstance(arrivals, dict) or not arrivals:
@@ -208,6 +244,7 @@ def job_config_key(config: Dict[str, Any]) -> Tuple:
     it gates a post-flow equivalence check, not the optimization itself.
     """
     arrivals = config.get("arrivals")
+    walk_modes = config.get("walk_modes")
     return (
         config["flow"],
         tuple(sorted(arrivals.items())) if arrivals else None,
@@ -216,6 +253,11 @@ def job_config_key(config: Dict[str, Any]) -> Tuple:
         config["area_recovery"],
         config["area_effort"],
         config["sat_portfolio"],
+        config.get("max_rounds"),
+        config.get("max_outputs_per_round"),
+        config.get("sim_width"),
+        tuple(walk_modes) if walk_modes else None,
+        config.get("max_iterations"),
     )
 
 
@@ -239,11 +281,17 @@ def make_job_optimizer(
         sat_portfolio=config["sat_portfolio"],
         workers=workers,
     )
+    for knob in ("max_rounds", "max_outputs_per_round", "sim_width"):
+        if config.get(knob) is not None:
+            common[knob] = config[knob]
+    if config.get("walk_modes"):
+        common["walk_modes"] = tuple(config["walk_modes"])
     if config["flow"] == "lookahead-only":
-        return make_runtime_optimizer(max_rounds=12, **common)
-    return make_runtime_optimizer(
-        max_rounds=16, max_outputs_per_round=8, **common
-    )
+        common.setdefault("max_rounds", 12)
+        return make_runtime_optimizer(**common)
+    common.setdefault("max_rounds", 16)
+    common.setdefault("max_outputs_per_round", 8)
+    return make_runtime_optimizer(**common)
 
 
 def execute_optimize_job(
@@ -264,7 +312,11 @@ def execute_optimize_job(
     try:
         if config["flow"] == "lookahead-only":
             return optimizer.optimize(aig)
-        return lookahead_flow(aig, optimizer=optimizer)
+        return lookahead_flow(
+            aig,
+            optimizer=optimizer,
+            max_iterations=config.get("max_iterations") or 4,
+        )
     finally:
         if owned:
             optimizer.close()

@@ -504,12 +504,18 @@ class ReproDaemon:
                 )
                 self._pool[job.key] = entry
                 while len(self._pool) > self.pool_limit:
-                    self._evict_one(keep=entry)
+                    if not self._evict_one(keep=entry):
+                        break  # everything else busy: run over budget
         entry.lock.acquire()  # serializes runners sharing one config
         return entry
 
-    def _evict_one(self, keep: _OptimizerEntry) -> None:
-        """Drop one idle pooled optimizer (pool lock held)."""
+    def _evict_one(self, keep: _OptimizerEntry) -> bool:
+        """Drop one idle pooled optimizer (pool lock held).
+
+        Returns False when every other entry is checked out — the caller
+        must accept running over budget rather than spin or block a
+        runner on the pool lock.
+        """
         for key, entry in list(self._pool.items()):
             if entry is keep:
                 continue
@@ -517,9 +523,8 @@ class ReproDaemon:
                 del self._pool[key]
                 entry.lock.release()
                 entry.optimizer.close()
-                return
-        # Every other entry is busy: over-budget beats blocking a runner.
-        return
+                return True
+        return False
 
     def _checkin(self, entry: _OptimizerEntry) -> None:
         entry.lock.release()

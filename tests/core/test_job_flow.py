@@ -43,6 +43,63 @@ class TestNormalize:
             with pytest.raises(ValueError):
                 normalize_job_config({"arrivals": bad})
 
+    def test_effort_knobs_default_to_none(self):
+        config = normalize_job_config(None)
+        for knob in ("max_rounds", "max_outputs_per_round", "sim_width",
+                     "walk_modes", "max_iterations"):
+            assert config[knob] is None
+
+    def test_effort_knob_validation(self):
+        config = normalize_job_config({
+            "max_rounds": 3,
+            "max_outputs_per_round": 4,
+            "sim_width": 512,
+            "walk_modes": ("target",),
+            "max_iterations": 2,
+        })
+        assert config["max_rounds"] == 3
+        assert config["walk_modes"] == ["target"]  # JSON-compatible
+        for bad in (
+            {"max_rounds": 0},
+            {"max_rounds": True},
+            {"sim_width": -1},
+            {"sim_width": "512"},
+            {"max_iterations": 0},
+            {"walk_modes": []},
+            {"walk_modes": "target"},
+            {"walk_modes": ["sideways"]},
+        ):
+            with pytest.raises(ValueError):
+                normalize_job_config(bad)
+
+    def test_effort_knobs_distinguish_configs(self):
+        base = normalize_job_config(None)
+        bounded = normalize_job_config({"max_rounds": 4, "sim_width": 512})
+        assert job_config_key(base) != job_config_key(bounded)
+        # walk-mode order is part of the identity (candidate order
+        # matters to the optimizer).
+        modes_a = normalize_job_config({"walk_modes": ["target", "full"]})
+        modes_b = normalize_job_config({"walk_modes": ["full", "target"]})
+        assert job_config_key(modes_a) != job_config_key(modes_b)
+
+    def test_make_job_optimizer_applies_knobs(self):
+        from repro.core.flow import make_job_optimizer
+
+        config = normalize_job_config({
+            "max_rounds": 4,
+            "max_outputs_per_round": 6,
+            "sim_width": 512,
+            "walk_modes": ["target"],
+        })
+        opt = make_job_optimizer(config, workers=1)
+        try:
+            assert opt.max_rounds == 4
+            assert opt.max_outputs_per_round == 6
+            assert opt.sim_width == 512
+            assert opt.walk_modes == ("target",)
+        finally:
+            opt.close()
+
     def test_key_ignores_verify_and_arrival_order(self):
         base = normalize_job_config({"arrivals": {"a": 1, "b": 2}})
         reordered = normalize_job_config({"arrivals": {"b": 2, "a": 1}})
