@@ -35,7 +35,7 @@ from typing import Callable, Dict, Optional
 from . import perf
 from .aig import AIG, depth, read_aag, read_blif, write_aag, write_blif
 from .cec import check_equivalence
-from .core import lookahead_flow, optimize_lookahead
+from .core import lookahead_flow, optimize_lookahead, validate_walk_modes
 from .mapping import dynamic_power_uw, map_aig, mapped_delay
 from .mapping.verilog import write_verilog
 from .opt import abc_resyn2rs, dc_map_effort_high, sis_best
@@ -168,6 +168,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     store = _store_spec(args)
     flow = FLOWS[args.flow]
     flow_kwargs = {}
+    if args.rank == "prune" and not args.rank_model:
+        print("error: --rank prune requires --rank-model PATH",
+              file=sys.stderr)
+        return 2
+    if args.rank_model and args.rank != "prune":
+        print("error: --rank-model is only meaningful with --rank prune",
+              file=sys.stderr)
+        return 2
+    if args.rank_data and args.rank != "log":
+        print("error: --rank-data is only meaningful with --rank log",
+              file=sys.stderr)
+        return 2
     if args.flow.startswith("lookahead"):
         flow_kwargs["spcf_tier"] = args.spcf_tier
         flow_kwargs["spcf_prefilter"] = not args.no_spcf_prefilter
@@ -175,6 +187,14 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         flow_kwargs["area_effort"] = args.area_effort
         flow_kwargs["sat_portfolio"] = args.sat_portfolio
         flow_kwargs["store"] = store
+        if args.walk_modes is not None:
+            flow_kwargs["walk_modes"] = validate_walk_modes(
+                [m.strip() for m in args.walk_modes.split(",") if m.strip()]
+            )
+        if args.rank != "off":
+            flow_kwargs["rank"] = args.rank
+            flow_kwargs["rank_model"] = args.rank_model
+            flow_kwargs["rank_data"] = args.rank_data
     elif (
         args.spcf_tier != "auto"
         or args.no_spcf_prefilter
@@ -182,11 +202,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         or args.area_effort != "medium"
         or args.sat_portfolio != "off"
         or store is not None
+        or args.walk_modes is not None
+        or args.rank != "off"
     ):
         print(
             f"warning: flow {args.flow!r} ignores --spcf-tier/"
             "--no-spcf-prefilter/--area-effort/--no-area-recovery/"
-            "--sat-portfolio/--store",
+            "--sat-portfolio/--store/--walk-modes/--rank",
             file=sys.stderr,
         )
     perf.reset()
@@ -257,6 +279,41 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
         return 1
+    return 0
+
+
+def cmd_rank_fit(args: argparse.Namespace) -> int:
+    """Fit a candidate-ranking model from --rank log datasets."""
+    from .rank import fit_model, load_dataset
+
+    rows = load_dataset(args.data)
+    if not rows:
+        print("error: no dataset rows in " + ", ".join(args.data),
+              file=sys.stderr)
+        return 1
+    model = fit_model(
+        rows,
+        target_recall=args.target_recall,
+        meta={"datasets": list(args.data)},
+    )
+    model.save(args.output)
+    accepts = sum(int(r["accept"]) for r in rows)
+    kind = "pass-through" if model.meta.get("degenerate") else model.kind
+    print(
+        f"fitted {kind} model on {len(rows)} rows ({accepts} accepts); "
+        f"threshold {model.threshold:.6g}"
+    )
+    print(f"wrote {args.output} (fingerprint {model.fingerprint()[:16]})")
+    if args.store is not None:
+        path = args.store if args.store else default_store_path()
+        store = SqliteStore(path)
+        try:
+            store.namespace("rank_model").put(
+                model.fingerprint(), model.payload()
+            )
+        finally:
+            store.close()
+        print(f"stored rank_model {model.fingerprint()[:16]} in {path}")
     return 0
 
 
@@ -613,8 +670,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a fully process-local run even when $REPRO_STORE "
              "is set",
     )
+    p_opt.add_argument(
+        "--walk-modes", metavar="MODE,...", default=None,
+        help="comma-separated critical-walk strategies (subset of "
+             "target,full; default: the optimizer's own — lookahead "
+             "flows only)",
+    )
+    p_opt.add_argument(
+        "--rank", choices=("off", "log", "prune"), default="off",
+        help="learned candidate ranking: off reproduces the unranked "
+             "flow bit-for-bit, log records per-candidate features and "
+             "outcomes (see --rank-data), prune skips candidates below "
+             "the threshold of --rank-model before any SPCF work "
+             "(lookahead flows only)",
+    )
+    p_opt.add_argument(
+        "--rank-model", metavar="PATH",
+        help="rank model artifact from `repro rank fit` (required with "
+             "--rank prune)",
+    )
+    p_opt.add_argument(
+        "--rank-data", metavar="PATH",
+        help="JSONL file appended with one feature/outcome row per "
+             "candidate under --rank log",
+    )
     _add_arrival_args(p_opt)
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_rank = sub.add_parser(
+        "rank", help="fit candidate-ranking models from --rank log data"
+    )
+    rank_sub = p_rank.add_subparsers(dest="rank_command", required=True)
+    pr_fit = rank_sub.add_parser(
+        "fit", help="fit a ranking model from logged datasets"
+    )
+    pr_fit.add_argument(
+        "--data", action="append", required=True, metavar="PATH",
+        help="JSONL dataset from `repro optimize --rank log --rank-data` "
+             "(repeatable; rows are concatenated)",
+    )
+    pr_fit.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="model artifact to write (versioned JSON)",
+    )
+    pr_fit.add_argument(
+        "--target-recall", type=float, default=1.0, metavar="R",
+        help="fraction of training accepts the threshold must keep "
+             "(default 1.0: never prune anything the log run accepted)",
+    )
+    pr_fit.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="PATH",
+        help="also record the artifact in the result store's rank_model "
+             "namespace, keyed by fingerprint (no PATH: $REPRO_STORE or "
+             "~/.cache/repro/results.db)",
+    )
+    pr_fit.set_defaults(func=cmd_rank_fit)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or reset the persistent result store"

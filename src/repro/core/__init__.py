@@ -34,10 +34,13 @@ from .flow import (
     normalize_job_config,
 )
 from .lookahead import (
+    RANK_MODES,
     TT_MODE_PI_LIMIT,
+    WALK_MODES,
     LookaheadOptimizer,
     make_runtime_optimizer,
     optimize_lookahead,
+    validate_walk_modes,
 )
 
 __all__ = [
@@ -72,9 +75,12 @@ __all__ = [
     "recover_area",
     "remove_redundant_edges",
     "sat_sweep",
+    "RANK_MODES",
     "TT_MODE_PI_LIMIT",
+    "WALK_MODES",
     "JOB_FLOWS",
     "LookaheadOptimizer",
+    "validate_walk_modes",
     "execute_optimize_job",
     "job_config_key",
     "lookahead_flow",

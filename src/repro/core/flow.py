@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..aig import AIG
-from .lookahead import LookaheadOptimizer, make_runtime_optimizer
+from .lookahead import (
+    WALK_MODES,
+    LookaheadOptimizer,
+    make_runtime_optimizer,
+    validate_walk_modes,
+)
 
 
 def _make_quality(arrival_times: Optional[Dict[str, int]]):
@@ -54,6 +59,10 @@ def lookahead_flow(
     area_effort: str = "medium",
     sat_portfolio: str = "off",
     store=None,
+    walk_modes=None,
+    rank: str = "off",
+    rank_model=None,
+    rank_data=None,
 ) -> AIG:
     """Conventional high-effort optimization alternated with decomposition.
 
@@ -75,8 +84,11 @@ def lookahead_flow(
     :class:`LookaheadOptimizer` and :mod:`repro.sat.portfolio`), and
     ``store`` the persistent result store (a database path or
     :class:`repro.store.StoreConfig`) that lets every memo layer survive
-    across invocations; all six are ignored when an explicit
-    ``optimizer`` is passed.
+    across invocations, ``walk_modes`` its critical-walk strategies
+    (``None`` keeps the optimizer default), and ``rank`` /
+    ``rank_model`` / ``rank_data`` its learned candidate ranker (see
+    :mod:`repro.rank` and DESIGN 3.23); all ten are ignored when an
+    explicit ``optimizer`` is passed.
 
     ``verify=True`` equivalence-checks every accepted candidate against
     the circuit it replaces (and therefore, transitively, against the
@@ -88,14 +100,20 @@ def lookahead_flow(
     from ..cec import assert_equivalent
     from ..opt import dc_map_effort_high
 
+    optimizer_kwargs = {}
+    if walk_modes is not None:
+        optimizer_kwargs["walk_modes"] = validate_walk_modes(walk_modes)
     opt = optimizer or LookaheadOptimizer(
         max_rounds=16, max_outputs_per_round=8, arrival_times=arrival_times,
         spcf_tier=spcf_tier, spcf_prefilter=spcf_prefilter,
         area_recovery=area_recovery, area_effort=area_effort,
         sat_portfolio=sat_portfolio, store=store,
+        rank=rank, rank_model=rank_model, rank_data=rank_data,
+        **optimizer_kwargs,
     )
     _quality = _make_quality(opt.arrival_times)
     current = aig.extract()
+    current_q = _quality(current)
     # The conventional candidate is recomputed only when `current` actually
     # changed under it.  When the conventional flow itself wins an
     # iteration, its output doubles as the next iteration's conventional
@@ -112,14 +130,18 @@ def lookahead_flow(
             else:
                 perf.incr("flow.conventional.reused")
             candidates = [conventional, opt.optimize(current)]
-            candidate = min(candidates, key=_quality)
-            if _quality(candidate) >= _quality(current):
+            # One quality evaluation per fresh candidate: the incumbent's
+            # is cached across iterations, never recomputed per round.
+            qualities = [_quality(c) for c in candidates]
+            best = min(range(len(candidates)), key=qualities.__getitem__)
+            candidate, candidate_q = candidates[best], qualities[best]
+            if candidate_q >= current_q:
                 break
             if verify:
                 with perf.timer("phase.verify"):
                     assert_equivalent(current, candidate, "flow iteration")
             conventional = candidate if candidate is conventional else None
-            current = candidate
+            current, current_q = candidate, candidate_q
     finally:
         if optimizer is None:
             opt.close()  # the flow owns optimizers it created
@@ -160,10 +182,13 @@ _JOB_OPTION_DEFAULTS: Dict[str, Any] = {
     "sim_width": None,
     "walk_modes": None,
     "max_iterations": None,
+    # Learned candidate ranking (DESIGN 3.23).  Only 'off' and 'prune'
+    # are servable — dataset logging is a local concern — and a prune
+    # job must embed its model payload, so the daemon's answer depends
+    # only on the job, never on daemon-side files.
+    "rank": "off",
+    "rank_model": None,
 }
-
-WALK_MODES = ("target", "full")
-"""Admissible critical-walk modes for the ``walk_modes`` job option."""
 
 
 def normalize_job_config(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
@@ -204,19 +229,29 @@ def normalize_job_config(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
             raise ValueError(f"{key} must be a positive integer, got {value!r}")
     walk_modes = merged["walk_modes"]
     if walk_modes is not None:
-        if isinstance(walk_modes, str) or not isinstance(
-            walk_modes, (list, tuple)
-        ) or not walk_modes:
+        # Same validator (and error text) as the optimizer constructor
+        # and the CLI, so every entry point rejects bad values alike.
+        merged["walk_modes"] = list(validate_walk_modes(walk_modes))
+    rank = merged["rank"]
+    if rank not in ("off", "prune"):
+        raise ValueError(
+            f"unservable rank mode {rank!r}; jobs may use 'off' or 'prune'"
+        )
+    rank_model = merged["rank_model"]
+    if rank == "prune":
+        from ..rank import RankModel
+
+        if not isinstance(rank_model, dict):
             raise ValueError(
-                "walk_modes must be a non-empty list of mode names"
+                "rank='prune' jobs must embed the model payload "
+                "as rank_model"
             )
-        unknown_modes = [m for m in walk_modes if m not in WALK_MODES]
-        if unknown_modes:
-            raise ValueError(
-                f"unknown walk modes {unknown_modes!r}; "
-                f"expected a subset of {WALK_MODES}"
-            )
-        merged["walk_modes"] = list(walk_modes)  # JSON-compatible
+        try:
+            RankModel.from_payload(rank_model)
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed rank_model payload: {exc}")
+    elif rank_model is not None:
+        raise ValueError("rank_model is only meaningful with rank='prune'")
     arrivals = merged["arrivals"]
     if arrivals is not None:
         if not isinstance(arrivals, dict) or not arrivals:
@@ -245,6 +280,15 @@ def job_config_key(config: Dict[str, Any]) -> Tuple:
     """
     arrivals = config.get("arrivals")
     walk_modes = config.get("walk_modes")
+    rank_model = config.get("rank_model")
+    if rank_model:
+        from ..rank import RankModel
+
+        # The payload's stable fingerprint, not the dict itself: model
+        # identity is what makes two prune jobs interchangeable.
+        model_id = RankModel.from_payload(rank_model).fingerprint()
+    else:
+        model_id = None
     return (
         config["flow"],
         tuple(sorted(arrivals.items())) if arrivals else None,
@@ -258,6 +302,8 @@ def job_config_key(config: Dict[str, Any]) -> Tuple:
         config.get("sim_width"),
         tuple(walk_modes) if walk_modes else None,
         config.get("max_iterations"),
+        config.get("rank", "off"),
+        model_id,
     )
 
 
@@ -286,6 +332,9 @@ def make_job_optimizer(
             common[knob] = config[knob]
     if config.get("walk_modes"):
         common["walk_modes"] = tuple(config["walk_modes"])
+    if config.get("rank", "off") != "off":
+        common["rank"] = config["rank"]
+        common["rank_model"] = config["rank_model"]
     if config["flow"] == "lookahead-only":
         common.setdefault("max_rounds", 12)
         return make_runtime_optimizer(**common)

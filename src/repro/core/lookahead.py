@@ -32,17 +32,19 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import perf
 from ..aig import (
     AIG,
     CONST0,
+    aig_fingerprint,
     cone_fingerprint,
     lit_not,
     lit_var,
     random_patterns,
 )
+from ..rank import RankLogger, RoundFeatureExtractor, resolve_model
 from ..netlist import (
     ArrivalAwareBuilder,
     Network,
@@ -77,6 +79,42 @@ TT_MODE_PI_LIMIT = 12
 
 BDD_MODE_PI_LIMIT = 26
 """BDD-domain exact functions are attempted up to this many PIs."""
+
+WALK_MODES = ("target", "full")
+"""Admissible critical-walk strategies for ``walk_modes``."""
+
+RANK_MODES = ("off", "log", "prune")
+"""Candidate-ranking modes: 'off' is the unranked flow bit-for-bit,
+'log' records per-candidate features and outcomes to a dataset, 'prune'
+gates candidates on a fitted model's accept probability."""
+
+BUDGET_WINDOWS = 2
+"""Budget windows a round may try before giving up: when every
+replacement in the first window is rejected, the round slides once to
+the next ``max_outputs_per_round`` eligible candidates instead of
+ending — bounded, so a terminal round costs at most twice the old
+budget."""
+
+
+def validate_walk_modes(walk_modes) -> Tuple[str, ...]:
+    """Validate a walk-mode sequence; returns it as a tuple.
+
+    Shared by the optimizer constructor, the CLI, and the serve job
+    validator so all entry points reject bad values identically.
+    """
+    if isinstance(walk_modes, str) or not isinstance(
+        walk_modes, (list, tuple)
+    ) or not walk_modes:
+        raise ValueError(
+            "walk_modes must be a non-empty list of mode names"
+        )
+    unknown_modes = [m for m in walk_modes if m not in WALK_MODES]
+    if unknown_modes:
+        raise ValueError(
+            f"unknown walk modes {unknown_modes!r}; "
+            f"expected a subset of {WALK_MODES}"
+        )
+    return tuple(walk_modes)
 
 
 # -- per-output cone pipeline (runs in worker processes) ---------------------
@@ -436,6 +474,9 @@ class LookaheadOptimizer:
         spcf_prefilter: bool = True,
         sat_portfolio: str = "off",
         store: StoreSpec = None,
+        rank: str = "off",
+        rank_model=None,
+        rank_data=None,
     ):
         """Configure the optimizer.
 
@@ -478,9 +519,29 @@ class LookaheadOptimizer:
         invocations.  ``None`` (default) keeps every memo process-local —
         bit-identical to the historical behaviour; disk-warm runs are
         bit-identical in QoR to cold ones, just faster (DESIGN 3.20).
+        ``rank`` selects the learned candidate ranker (DESIGN 3.23):
+        'off' (default) is the unranked flow bit-for-bit, 'log' records
+        per-candidate features and outcomes through ``rank_data`` (a
+        JSONL path or :class:`repro.rank.RankLogger`; ``None`` keeps
+        rows in memory), 'prune' skips candidates scoring under the
+        threshold of ``rank_model`` (a path, payload dict, or
+        :class:`repro.rank.RankModel`) before any SPCF/reconstruction
+        work — with a zero-accept-window fallback that re-runs pruned
+        candidates ungated, so a misprediction costs latency, never QoR.
         """
         if spcf_tier not in ("auto", "exact", "overapprox", "signature"):
             raise ValueError(f"unknown SPCF tier {spcf_tier!r}")
+        if rank not in RANK_MODES:
+            raise ValueError(
+                f"unknown rank mode {rank!r}; expected one of {RANK_MODES}"
+            )
+        if rank == "prune" and rank_model is None:
+            raise ValueError(
+                "rank='prune' requires a rank_model "
+                "(a model path, payload dict, or RankModel)"
+            )
+        if rank_data is not None and rank != "log":
+            raise ValueError("rank_data is only meaningful with rank='log'")
         if sat_portfolio not in PORTFOLIO_MODES:
             raise ValueError(
                 f"unknown SAT portfolio mode {sat_portfolio!r}; "
@@ -508,8 +569,28 @@ class LookaheadOptimizer:
         self.verify = verify
         self.area_recovery = area_recovery
         self.area_effort = area_effort
-        self.walk_modes = walk_modes
+        self.walk_modes = validate_walk_modes(walk_modes)
         self.workers = workers
+        self.rank = rank
+        self._rank_model = (
+            resolve_model(rank_model) if rank == "prune" else None
+        )
+        if rank == "log":
+            self.rank_logger = (
+                rank_data
+                if isinstance(rank_data, RankLogger)
+                else RankLogger(rank_data)
+            )
+        else:
+            self.rank_logger = None
+        # Per-optimize-call ranking state: config keys whose rejection
+        # this call has (re)confirmed or predicted, per-cone consecutive
+        # reject streaks, and the round counter stamped into log rows.
+        self._call_rejected: Set[Tuple] = set()
+        self._rank_streaks: Dict[int, int] = {}
+        self._rank_round = 0
+        self._round_rows: List[dict] = []
+        self._call_rows: List[dict] = []
         self.store_spec = store
         if store is not None:
             store_runtime.configure(store)
@@ -537,6 +618,7 @@ class LookaheadOptimizer:
 
     def _quality(self, aig: AIG) -> Tuple[int, int, int]:
         """Lexicographic quality: worst PO arrival, total arrival, size."""
+        perf.incr("quality.evals")
         engine = AigTimingEngine(aig, self._delay_model())
         pol = engine.po_arrivals()
         return (max(pol) if pol else 0, sum(pol), aig.num_ands())
@@ -553,27 +635,98 @@ class LookaheadOptimizer:
         iteration loop — reuse warm worker processes.  Call :meth:`close`
         (or use the optimizer as a context manager) when done.
         """
+        # Ranking state is per call: verdict replay from earlier calls
+        # flows through the cone cache, never through these.
+        self._call_rejected = set()
+        self._rank_streaks = {}
+        self._rank_round = 0
+        self._round_rows = []
+        self._call_rows = []
         with perf.timer("optimize"):
             results = [
                 self._optimize_with(aig, walk_mode)
                 for walk_mode in self.walk_modes
             ]
-        return min(results, key=self._quality)
+        winner = min(range(len(results)), key=lambda i: results[i][1])
+        self._log_call_rows(self.walk_modes[winner])
+        return results[winner][0]
 
-    def _optimize_with(self, aig: AIG, walk_mode: str) -> AIG:
+    def _log_call_rows(self, winning_walk: str) -> None:
+        """Write the call's staged rows, demoting the losing walks.
+
+        The final labelling level: a candidate only stays ``accept=1``
+        when the walk strategy it ran under is the one whose result
+        this call actually returned.  A quality-kept round inside a
+        losing walk re-derived a result the winning walk already had —
+        on one-critical-output circuits that duplicated secondary SAT
+        pass is most of the wall-clock, and it is exactly the work a
+        recall-1.0 prune model may skip without touching the returned
+        circuit (DESIGN 3.23).
+        """
+        rows, self._call_rows = self._call_rows, []
+        if self.rank_logger is None:
+            return
+        for row in rows:
+            if row["walk"] != winning_walk:
+                row["accept"] = 0
+            perf.incr("rank.logged")
+            self.rank_logger.log(row)
+
+    def _optimize_with(self, aig: AIG, walk_mode: str) -> Tuple[AIG, Tuple]:
+        """Run the round sequence for one walk; returns (AIG, quality).
+
+        The incumbent's quality is computed once and cached across
+        rounds (and handed to ``optimize``'s final comparison), so a
+        sequence of rejected rounds costs one timing analysis per fresh
+        candidate instead of two.
+
+        The reject-streak counters are walk-local.  They feed the rank
+        features, and a prune run's streak evolution must replay its
+        training run's exactly for the recall-1.0 calibration to hold;
+        a streak that leaked across walks would let one walk's pruned
+        (but training-accepted) candidates shift a later walk's feature
+        vectors — and with them, scores — off the logged trajectory
+        (found by repro.verify fuzzing, seed 4 case 1112).  Config-key
+        verdicts need no such scoping: ``cfg_key`` embeds the walk mode.
+        """
+        self._rank_streaks = {}
         current = aig.extract()
+        current_q = self._quality(current)
         for _round in range(self.max_rounds):
             candidate = self._one_round(current, walk_mode)
             if candidate is None:
+                self._flush_rank_rows(kept=False)
                 break
-            if self._quality(candidate) >= self._quality(current):
+            candidate_q = self._quality(candidate)
+            kept = candidate_q < current_q
+            self._flush_rank_rows(kept=kept)
+            if not kept:
                 break
             if self.verify:
                 from ..cec import assert_equivalent
 
                 assert_equivalent(current, candidate, "lookahead round")
-            current = candidate
-        return current
+            current, current_q = candidate, candidate_q
+        return current, current_q
+
+    def _flush_rank_rows(self, kept: bool) -> None:
+        """Promote the round's staged rows to the call buffer.
+
+        A candidate only keeps ``accept=1`` when its replacement was
+        spliced in by ``_rebuild`` *and* the round's aggregate survived
+        the quality gate: a rebuild-accepted cone in a quality-rejected
+        round contributed nothing (the paper's metric discarded the
+        whole candidate circuit), and labelling it positive would teach
+        the prune gate to spend SPCF and SAT time on provably dead
+        rounds.  The rows reach the logger in :meth:`_log_call_rows`,
+        which applies the final walk-level demotion (DESIGN 3.23).
+        """
+        rows, self._round_rows = self._round_rows, []
+        if self.rank_logger is None:
+            return
+        for row in rows:
+            row["accept"] = int(row["accept"] and kept)
+            self._call_rows.append(row)
 
     # -- worker pool ------------------------------------------------------------
 
@@ -599,6 +752,8 @@ class LookaheadOptimizer:
         should do the same (or use ``with LookaheadOptimizer(...) as opt``).
         """
         self._shutdown_executor()
+        if self.rank_logger is not None:
+            self.rank_logger.close()
 
     def __enter__(self) -> "LookaheadOptimizer":
         return self
@@ -636,45 +791,52 @@ class LookaheadOptimizer:
             return None
         mode = self._resolve_mode(aig)
         perf.incr("rounds")
-        with perf.timer("phase.renode"):
-            net = renode(aig, self.k)
+        self._rank_round += 1
+        self._round_rows = []
         aig_levels = engine.arrivals()
         # Criticality is judged on the decomposed circuit (the AIG), where
         # the SPCF and the paper's quality metric live; under prescribed
         # arrivals the engine's zero-slack POs replace the deepest ones.
         critical = engine.critical_pos()
-        if self.max_outputs_per_round is not None:
-            critical = critical[: self.max_outputs_per_round]
+
+        # Renoding is only needed once a cone actually dispatches, so the
+        # windowed path takes it lazily: a round whose whole window the
+        # rank gate prunes (or the cache replays) never pays for it.
+        net_box: List[Network] = []
+
+        def net_thunk() -> Network:
+            if not net_box:
+                with perf.timer("phase.renode"):
+                    net_box.append(renode(aig, self.k))
+            return net_box[0]
 
         if mode == "bdd":
             # BDD refs live inside one shared (unpicklable) manager, so the
             # BDD round stays in-process; cones that blow up fall back to
-            # the signature domain per output, as before.
-            processed = self._bdd_round(aig, net, critical, aig_levels,
-                                        walk_mode)
-            reject_keys: Dict[int, Tuple] = {}
+            # the signature domain per output, as before.  The BDD path
+            # has no rejection cache, so the raw budget truncation stands.
+            if self.max_outputs_per_round is not None:
+                critical = critical[: self.max_outputs_per_round]
+            processed = self._bdd_round(aig, net_thunk(), critical,
+                                        aig_levels, walk_mode)
+            if not processed:
+                return None
+            with perf.timer("phase.rebuild"):
+                rebuilt, accepted = self._rebuild(aig, processed)
+            if not accepted:
+                # Nothing won: stop here rather than returning the
+                # restrashed/swept copy.  A sweep-only "improvement" from
+                # an all-rejected round would make the result depend on
+                # whether rejected cones were skipped through the negative
+                # cache — i.e. warm-cache runs would diverge from cold
+                # ones (found by repro.verify fuzzing, seed 0 case 30).
+                return None
         else:
-            processed, reject_keys = self._cone_round(
-                aig, net, critical, aig_levels, mode, walk_mode
+            rebuilt = self._windowed_round(
+                aig, net_thunk, critical, aig_levels, mode, walk_mode
             )
-        if not processed:
-            return None
-        with perf.timer("phase.rebuild"):
-            rebuilt, accepted = self._rebuild(aig, processed)
-        for po_index, key in reject_keys.items():
-            if po_index in accepted:
-                perf.incr("replacements.accepted")
-            else:
-                perf.incr("replacements.rejected")
-                self.cache.mark_rejected(key)
-        if not accepted:
-            # Nothing won: stop here rather than returning the
-            # restrashed/swept copy.  A sweep-only "improvement" from an
-            # all-rejected round would make the result depend on whether
-            # rejected cones were skipped through the negative cache —
-            # i.e. warm-cache runs would diverge from cold ones (found by
-            # repro.verify fuzzing, seed 0 case 30).
-            return None
+            if rebuilt is None:
+                return None
         if self.area_recovery:
             with perf.timer("phase.area"):
                 rebuilt = recover_area(
@@ -684,24 +846,240 @@ class LookaheadOptimizer:
                 )
         return rebuilt
 
-    def _cone_round(
+    def _candidate_keys(
+        self, aig: AIG, po_index: int, mode: str, walk_mode: str
+    ) -> Tuple[int, Tuple, Tuple]:
+        """(fingerprint, spcf_key, cfg_key) of one candidate output."""
+        po_lit = aig.pos[po_index]
+        fp = cone_fingerprint(aig, [po_lit])
+        # The model key keeps unit and prescribed-arrival runs
+        # from colliding in the shared cone cache.
+        spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
+                    self.seed, self._model_key(),
+                    self.spcf_tier)
+        cfg_key = spcf_key + (
+            walk_mode, self.k, self.use_rules, self.sat_portfolio,
+        )
+        return fp, spcf_key, cfg_key
+
+    def _note_reject(self, fp: int) -> None:
+        self._rank_streaks[fp] = self._rank_streaks.get(fp, 0) + 1
+
+    def _unnote_reject(self, fp: int) -> None:
+        streak = self._rank_streaks.get(fp, 0) - 1
+        if streak > 0:
+            self._rank_streaks[fp] = streak
+        else:
+            self._rank_streaks.pop(fp, None)
+
+    def _select_window(
+        self, aig: AIG, queue: List[int], mode: str, walk_mode: str
+    ) -> Tuple[List[Tuple[int, int, Tuple, Tuple]], List[int]]:
+        """Next budget window of candidates, plus the untouched tail.
+
+        Walks the critical queue in order, drops candidates whose config
+        key was rejected *during this optimize call*, and stops at the
+        per-round budget.  Selection deliberately never consults bare
+        cross-call cache state: a warm run replays inherited verdicts
+        into ``_call_rejected`` at dispatch, exactly where a cold run
+        records the same verdicts after evaluating — so warm and cold
+        runs build identical windows (the cached_cold_identical /
+        store_warm_equals_cold invariants).
+        """
+        budget = self.max_outputs_per_round
+        window: List[Tuple[int, int, Tuple, Tuple]] = []
+        tail: List[int] = []
+        for pos, po_index in enumerate(queue):
+            if budget is not None and len(window) >= budget:
+                tail = queue[pos:]
+                break
+            fp, spcf_key, cfg_key = self._candidate_keys(
+                aig, po_index, mode, walk_mode
+            )
+            if cfg_key in self._call_rejected:
+                continue
+            window.append((po_index, fp, spcf_key, cfg_key))
+        return window, tail
+
+    def _windowed_round(
         self,
         aig: AIG,
-        net: Network,
+        net_thunk: Callable[[], Network],
         critical: List[int],
         aig_levels: List[int],
         mode: str,
         walk_mode: str,
-    ) -> Tuple[List[Tuple[int, Network, int, Network]], Dict[int, Tuple]]:
+    ) -> Optional[AIG]:
+        """The cone path of one round, over up to BUDGET_WINDOWS windows.
+
+        Candidates rejected earlier in this ``optimize`` call never
+        occupy a budget slot again, and a window whose replacements were
+        all rejected slides once to the next eligible window instead of
+        ending the round — together the fix for warm rounds burning
+        their whole budget on known-rejected cones.
+        """
+        queue = list(critical)
+        extractor = None
+        if self.rank != "off":
+            extractor = RoundFeatureExtractor(
+                aig,
+                aig_levels,
+                _pi_arrival_ints(self._delay_model(), aig.pi_names),
+                self.seed,
+            )
+        max_windows = (
+            1 if self.max_outputs_per_round is None else BUDGET_WINDOWS
+        )
+        for window_index in range(max_windows):
+            if window_index:
+                perf.incr("rounds.window_slides")
+            window, queue = self._select_window(aig, queue, mode, walk_mode)
+            if not window:
+                return None
+            rebuilt = self._run_window(
+                aig, net_thunk, window, aig_levels, mode, walk_mode, extractor
+            )
+            if rebuilt is not None:
+                return rebuilt
+            if not queue:
+                return None
+        return None
+
+    def _run_window(
+        self,
+        aig: AIG,
+        net_thunk: Callable[[], Network],
+        window: List[Tuple[int, int, Tuple, Tuple]],
+        aig_levels: List[int],
+        mode: str,
+        walk_mode: str,
+        extractor,
+    ) -> Optional[AIG]:
+        """One window: dispatch, judge, bookkeep; AIG if anything won.
+
+        In prune mode, a *partially* pruned window re-runs the pruned
+        candidates ungated before the rebuild judgment — once the gate
+        has let anything through, the round is going to pay for a
+        dispatch and a rebuild anyway, and evaluating the pruned
+        candidates alongside keeps the round's accepted set identical
+        to the unranked flow's (a pruned candidate that would have been
+        accepted must cost extra latency, never QoR).  The predicted
+        verdicts are rolled back first, so the fallback behaves exactly
+        like an ungated window over those candidates.  A *wholly*
+        pruned window (nothing dispatched at all) is instead trusted as
+        the round verdict: the model was calibrated so that every
+        winning-walk quality-kept training row scores above threshold,
+        and re-running everything it prunes would make the gate's best
+        case cost-neutral (DESIGN 3.23).
+        """
+        processed, reject_keys, pruned, features, dispatched = (
+            self._cone_round(
+                aig, net_thunk, window, aig_levels, mode, walk_mode,
+                extractor, gate=True,
+            )
+        )
+        fallback_pos: Set[int] = set()
+        if pruned and dispatched:
+            perf.incr("rank.fallback.windows")
+            for _po, fp, _spcf_key, cfg_key in pruned:
+                self._call_rejected.discard(cfg_key)
+                self._unnote_reject(fp)
+            f_processed, f_reject_keys, _pruned, _feats, _disp = (
+                self._cone_round(
+                    aig, net_thunk, pruned, aig_levels, mode, walk_mode,
+                    extractor, gate=False,
+                )
+            )
+            processed = processed + f_processed
+            reject_keys.update(f_reject_keys)
+            fallback_pos = {entry[0] for entry in f_processed}
+        accepted: Set[int] = set()
+        rebuilt: Optional[AIG] = None
+        if processed:
+            with perf.timer("phase.rebuild"):
+                rebuilt, accepted = self._rebuild(aig, processed)
+        rescued = accepted & fallback_pos
+        if rescued:
+            perf.incr("rank.false_prune_detected", len(rescued))
+        fp_by_po = {entry[0]: entry[1] for entry in window}
+        for po_index, key in reject_keys.items():
+            if po_index in accepted:
+                perf.incr("replacements.accepted")
+                self._rank_streaks.pop(fp_by_po[po_index], None)
+            else:
+                perf.incr("replacements.rejected")
+                self.cache.mark_rejected(key)
+                self._call_rejected.add(key)
+                self._note_reject(fp_by_po[po_index])
+        if self.rank_logger is not None:
+            # Rows are staged, not written: the label a candidate earns
+            # here (did _rebuild splice it in?) is only half the story —
+            # the round's aggregate must also survive the quality gate
+            # in _optimize_with, which ANDs the verdict in at flush time.
+            circuit_fp = format(aig_fingerprint(aig), "016x")
+            for po_index, fp, _spcf_key, _cfg_key in window:
+                feats = features.get(po_index)
+                if feats is None:
+                    continue
+                self._round_rows.append({
+                    "features": feats,
+                    "accept": int(po_index in accepted),
+                    "po": po_index,
+                    "round": self._rank_round,
+                    "walk": walk_mode,
+                    "fp": format(fp, "016x"),
+                    "circuit": circuit_fp,
+                })
+        if not accepted:
+            return None
+        return rebuilt
+
+    def _cone_round(
+        self,
+        aig: AIG,
+        net_thunk: Callable[[], Network],
+        window: List[Tuple[int, int, Tuple, Tuple]],
+        aig_levels: List[int],
+        mode: str,
+        walk_mode: str,
+        extractor=None,
+        gate: bool = True,
+    ) -> Tuple[
+        List[Tuple[int, Network, int, Network]],
+        Dict[int, Tuple],
+        List[Tuple[int, int, Tuple, Tuple]],
+        Dict[int, List[float]],
+        int,
+    ]:
         """Fan the per-output pipeline out over extracted cones (tt/sim).
 
-        Builds one self-contained task per critical output, runs them in
-        worker processes (or in-process when workers=1), and collects the
-        results in fixed output order.  Cones whose fingerprint was already
-        rejected under this configuration are skipped entirely; fresh SPCFs
-        are cached for later rounds and flow iterations.
+        ``window`` holds ``(po_index, fingerprint, spcf_key, cfg_key)``
+        candidates from :meth:`_select_window`.  Builds one
+        self-contained task per candidate, runs them in worker processes
+        (or in-process when workers=1), and collects the results in
+        fixed output order.  Cones whose fingerprint was already
+        rejected under this configuration are skipped entirely; fresh
+        SPCFs are cached for later rounds and flow iterations.
+        ``net_thunk`` materialises the renoded network on first use, so
+        a window that dispatches nothing never pays for renoding.
+
+        Returns ``(processed, reject_keys, pruned, features,
+        dispatched)``: ``pruned`` are candidates the rank gate skipped
+        (``gate=True`` and a prune model is active); ``features`` maps
+        po_index to the feature vector computed for logging/scoring;
+        ``dispatched`` counts the tasks that actually ran (the caller's
+        fallback heuristic needs to distinguish a wholly pruned window
+        from a partially evaluated one).  Every candidate whose verdict
+        is determined here — replayed, SPCF-empty, pruned, or
+        walk-failed — lands in ``_call_rejected`` under its *config*
+        key, so later window selections skip it regardless of which
+        underlying verdict it was; that uniformity is what keeps a
+        prune run's window composition bit-identical to its training
+        run's (DESIGN 3.23).
         """
         nworkers = perf.get_workers(self.workers)
+        gating = gate and self._rank_model is not None
+        want_features = self.rank == "log" or gating
 
         # On the serial path, sim-mode SPCFs come from one shared timed
         # simulation of the whole circuit (cone-local simulation yields
@@ -730,22 +1108,40 @@ class LookaheadOptimizer:
         tasks: List[Tuple] = []
         spcf_keys: Dict[int, Tuple] = {}
         reject_keys: Dict[int, Tuple] = {}
+        fp_by_po: Dict[int, int] = {}
         cached_payload: Set[int] = set()
+        pruned: List[Tuple[int, int, Tuple, Tuple]] = []
+        features: Dict[int, List[float]] = {}
         with perf.timer("phase.dispatch"):
-            for po_index in critical:
+            for po_index, fp, spcf_key, cfg_key in window:
                 po_lit = aig.pos[po_index]
-                fp = cone_fingerprint(aig, [po_lit])
-                # The model key keeps unit and prescribed-arrival runs
-                # from colliding in the shared cone cache.
-                spcf_key = (fp, mode, self.spcf_kind, self.sim_width,
-                            self.seed, self._model_key(),
-                            self.spcf_tier)
-                cfg_key = spcf_key + (
-                    walk_mode, self.k, self.use_rules, self.sat_portfolio,
-                )
+                fp_by_po[po_index] = fp
+                score = None
+                if want_features:
+                    t0 = time.perf_counter()
+                    feats = extractor.features(
+                        po_index, self._rank_streaks.get(fp, 0), walk_mode
+                    )
+                    if gating:
+                        score = self._rank_model.score(feats)
+                        perf.observe(
+                            "rank.score", time.perf_counter() - t0
+                        )
+                        perf.incr("rank.scored")
+                    features[po_index] = feats
                 if self.cache.is_rejected(cfg_key) or self.cache.is_rejected(
                     spcf_key
                 ):
+                    # Replay an inherited (cross-call) verdict into the
+                    # in-call set so later windows skip it at selection.
+                    self._call_rejected.add(cfg_key)
+                    self._note_reject(fp)
+                    continue
+                if gating and score < self._rank_model.threshold:
+                    perf.incr("rank.pruned")
+                    self._call_rejected.add(cfg_key)
+                    self._note_reject(fp)
+                    pruned.append((po_index, fp, spcf_key, cfg_key))
                     continue
                 payload = self.cache.get_spcf(spcf_key)
                 cone_aig = None
@@ -756,11 +1152,13 @@ class LookaheadOptimizer:
                         spcf = shared_spcf(po_index)
                     if spcf is None or spcf.is_empty():
                         self.cache.mark_rejected(spcf_key)
+                        self._call_rejected.add(cfg_key)
+                        self._note_reject(fp)
                         continue
                     payload = _serialize_spcf(spcf)
                 else:
                     cone_aig = aig.extract([po_lit])
-                cone_net = net.extract_po_cone(po_index)
+                cone_net = net_thunk().extract_po_cone(po_index)
                 spcf_keys[po_index] = spcf_key
                 reject_keys[po_index] = cfg_key
                 tasks.append(
@@ -818,10 +1216,12 @@ class LookaheadOptimizer:
                     self.cache.mark_rejected(spcf_keys[po_index])
                 else:
                     self.cache.mark_rejected(reject_keys[po_index])
+                self._call_rejected.add(reject_keys[po_index])
+                self._note_reject(fp_by_po[po_index])
                 del reject_keys[po_index]
                 continue
             processed.append((po_index, pos_net, sigma_nid, neg_net))
-        return processed, reject_keys
+        return processed, reject_keys, pruned, features, len(tasks)
 
     def _bdd_round(
         self,

@@ -1,0 +1,43 @@
+"""Learned candidate ranking for the lookahead optimizer (DESIGN 3.23).
+
+Three pieces: a feature/outcome dataset logged by the optimizer under
+``--rank log`` (:mod:`repro.rank.dataset`), a dependency-free logistic
+fitter producing versioned JSON artifacts (:mod:`repro.rank.model`),
+and the per-round feature extractor the runtime gate shares with the
+logger (:mod:`repro.rank.features`).
+"""
+
+from .dataset import (
+    FEATURE_NAMES,
+    RankLogger,
+    decode_row,
+    encode_row,
+    load_dataset,
+)
+from .model import (
+    MIN_FIT_ROWS,
+    RANK_MODEL_FORMAT,
+    RANK_MODEL_VERSION,
+    RankModel,
+    fit_model,
+    passthrough_model,
+    resolve_model,
+)
+from .features import RANK_SIM_WIDTH, RoundFeatureExtractor
+
+__all__ = [
+    "FEATURE_NAMES",
+    "MIN_FIT_ROWS",
+    "RANK_MODEL_FORMAT",
+    "RANK_MODEL_VERSION",
+    "RANK_SIM_WIDTH",
+    "RankLogger",
+    "RankModel",
+    "RoundFeatureExtractor",
+    "decode_row",
+    "encode_row",
+    "fit_model",
+    "load_dataset",
+    "passthrough_model",
+    "resolve_model",
+]

@@ -1,0 +1,93 @@
+"""Candidate-outcome dataset for the learned lookahead ranker.
+
+Under ``--rank log`` the optimizer records one row per candidate whose
+accept/reject verdict was determined during a round window: the cheap
+per-candidate features (computed parent-side from static timing and the
+bit-parallel signature layer, so serial and parallel runs log identical
+rows) plus the outcome.  Rows are canonical JSON lines — ``sort_keys``
+with compact separators — so the dataset itself is byte-deterministic
+for a fixed (circuit, seed, config) and diffs cleanly across runs.
+
+This module is dependency-free (stdlib only); the feature *computation*
+lives in :mod:`repro.rank.features`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+FEATURE_NAMES = (
+    "cone_ands",
+    "support",
+    "po_arrival",
+    "depth_slack",
+    "sig_gap",
+    "walk_full",
+    "reject_streak",
+)
+"""Feature vector layout, in order.  ``cone_ands``/``support`` are the
+candidate cone's AND count and PI support width; ``po_arrival`` /
+``depth_slack`` locate the output against the circuit's critical time;
+``sig_gap`` is the static-arrival vs. simulated floating-mode
+arrival-bound gap (large gap = mostly-unsensitizable critical paths);
+``walk_full`` flags the ``full`` walk strategy; ``reject_streak`` counts
+this cone's consecutive rejections within the current optimize call."""
+
+
+def encode_row(row: Dict) -> str:
+    """Canonical one-line JSON encoding of a dataset row."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def decode_row(line: str) -> Dict:
+    return json.loads(line)
+
+
+class RankLogger:
+    """Accumulates candidate rows, optionally appending them to a file.
+
+    With ``path=None`` rows are only kept in memory (``rows``), which is
+    what the determinism tests and the fuzz invariant consume; with a
+    path every row is also appended as one JSON line, flushed per row so
+    a crashed run keeps its data.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.rows: List[Dict] = []
+        self._fh = None
+
+    def log(self, row: Dict) -> None:
+        self.rows.append(row)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(encode_row(row) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __enter__(self) -> "RankLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_dataset(paths: Iterable[str]) -> List[Dict]:
+    """Read rows from one or more JSONL dataset files, in file order."""
+    rows: List[Dict] = []
+    for path in paths:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(decode_row(line))
+    return rows

@@ -1,0 +1,98 @@
+"""Per-candidate features for the lookahead ranker.
+
+One :class:`RoundFeatureExtractor` is built per decomposition round and
+computes the static feature block of every candidate output lazily, in
+the parent process only — workers never see features, which is what
+makes the logged dataset identical between serial and parallel runs.
+
+Everything here is cheap relative to one SPCF/reconstruction pipeline:
+cone membership is one DFS, and the signature arrival-bound gap reuses
+the repo's bit-parallel floating-mode timed simulation at a narrow
+fixed width (:data:`RANK_SIM_WIDTH`), run at most once per round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aig import AIG, cone_pis, fanin_cone_vars, lit_var, random_patterns
+from .dataset import FEATURE_NAMES
+
+RANK_SIM_WIDTH = 64
+"""Patterns in the ranker's timed simulation — a guide metric only, so
+it stays far narrower than the optimizer's ``sim_width``."""
+
+
+class RoundFeatureExtractor:
+    """Lazy per-round feature computation (layout :data:`FEATURE_NAMES`)."""
+
+    def __init__(
+        self,
+        aig: AIG,
+        aig_levels: Sequence,
+        pi_arrivals: Optional[List[int]],
+        seed: int,
+    ):
+        self.aig = aig
+        self.aig_levels = aig_levels
+        self.pi_arrivals = pi_arrivals
+        self.seed = seed
+        self.depth = max(
+            (aig_levels[lit_var(po)] for po in aig.pos), default=0
+        )
+        self._sim_arrivals = None
+        self._static: Dict[int, Tuple[float, ...]] = {}
+
+    def _arrival_bounds(self):
+        """Max simulated floating-mode arrival per variable (lazy)."""
+        if self._sim_arrivals is None:
+            # Deferred so importing repro.rank never circularly touches
+            # repro.core mid-initialization.
+            from ..core.signatures import (
+                timed_value_simulation,
+                unpack_patterns,
+            )
+
+            pi_words = random_patterns(
+                self.aig.num_pis, RANK_SIM_WIDTH, self.seed
+            )
+            _values, arrivals = timed_value_simulation(
+                self.aig,
+                unpack_patterns(pi_words, RANK_SIM_WIDTH),
+                pi_arrivals=self.pi_arrivals,
+            )
+            self._sim_arrivals = arrivals
+        return self._sim_arrivals
+
+    def _static_block(self, po_index: int) -> Tuple[float, ...]:
+        cached = self._static.get(po_index)
+        if cached is not None:
+            return cached
+        po_lit = self.aig.pos[po_index]
+        var = lit_var(po_lit)
+        cone = fanin_cone_vars(self.aig, [po_lit])
+        cone_ands = sum(1 for v in cone if self.aig.is_and(v))
+        support = len(cone_pis(self.aig, [po_lit]))
+        po_arrival = float(self.aig_levels[var])
+        slack = float(self.depth) - po_arrival
+        bound = self._arrival_bounds()[var]
+        sim_max = float(bound.max()) if getattr(bound, "size", 0) else 0.0
+        sig_gap = po_arrival - sim_max
+        block = (
+            float(cone_ands), float(support), po_arrival, slack, sig_gap
+        )
+        self._static[po_index] = block
+        return block
+
+    def features(
+        self, po_index: int, reject_streak: int, walk_mode: str
+    ) -> List[float]:
+        """Feature vector for one candidate, ordered as FEATURE_NAMES."""
+        block = self._static_block(po_index)
+        return list(block) + [
+            1.0 if walk_mode == "full" else 0.0,
+            float(reject_streak),
+        ]
+
+
+assert len(FEATURE_NAMES) == 7  # keep layout and extractor in lockstep

@@ -1,0 +1,256 @@
+"""Dependency-free logistic ranking model with a calibrated prune threshold.
+
+The model is deliberately tiny: standardized features, a logistic
+regression fitted by deterministic full-batch gradient descent (no RNG,
+no numpy — pure-float arithmetic is bit-reproducible across runs on the
+same platform), and a threshold calibrated on the training accepts.  At
+``target_recall=1.0`` the threshold sits strictly below the lowest
+accept score, which is what makes ``--rank prune`` provably lossless on
+the trajectory it was trained on (DESIGN 3.23): a candidate the log run
+accepted can never score under the threshold, so pruning only removes
+work the baseline run would have rejected anyway.
+
+Artifacts are versioned canonical-JSON payloads; ``fingerprint()`` is a
+stable sha256 over that canonical form and doubles as the model identity
+in serve job keys and store records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .dataset import FEATURE_NAMES
+
+RANK_MODEL_FORMAT = "repro-rank-model"
+RANK_MODEL_VERSION = 1
+
+MIN_FIT_ROWS = 4
+"""Below this many rows the fitter emits a pass-through model.
+
+Deliberately small: the sanctioned deployment fits a per-circuit model
+on the circuit's own ``--rank log`` trajectory, and a deep circuit with
+one critical output per round logs only a handful of rows.  The
+recall-1.0 threshold calibration — not the row count — is what keeps a
+tiny fit sound (it can only prune candidates the training run itself
+discarded)."""
+
+_THRESHOLD_MARGIN = 1e-9
+"""Calibrated thresholds sit this far below the pivot accept score, so
+re-scoring the same candidate (bitwise-identical features) can never
+fall on the wrong side of its own training outcome."""
+
+
+def _sigmoid(z: float) -> float:
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-min(z, 60.0)))
+    e = math.exp(max(z, -60.0))
+    return e / (1.0 + e)
+
+
+class RankModel:
+    """A scored accept-probability model plus its prune threshold."""
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        bias: float,
+        mean: Sequence[float],
+        scale: Sequence[float],
+        threshold: float,
+        features: Sequence[str] = FEATURE_NAMES,
+        kind: str = "logistic",
+        meta: Optional[Dict] = None,
+    ):
+        self.weights = [float(w) for w in weights]
+        self.bias = float(bias)
+        self.mean = [float(m) for m in mean]
+        self.scale = [float(s) for s in scale]
+        self.threshold = float(threshold)
+        self.features = tuple(features)
+        self.kind = kind
+        self.meta = dict(meta or {})
+        if not (
+            len(self.weights) == len(self.mean) == len(self.scale)
+            == len(self.features)
+        ):
+            raise ValueError("rank model dimensions disagree")
+
+    def score(self, feats: Sequence[float]) -> float:
+        """Accept probability of one feature vector (layout FEATURE_NAMES)."""
+        z = self.bias
+        for w, x, m, s in zip(self.weights, feats, self.mean, self.scale):
+            z += w * (x - m) / s
+        return _sigmoid(z)
+
+    # -- serialization -------------------------------------------------------
+
+    def payload(self) -> Dict:
+        return {
+            "format": RANK_MODEL_FORMAT,
+            "version": RANK_MODEL_VERSION,
+            "kind": self.kind,
+            "features": list(self.features),
+            "mean": self.mean,
+            "scale": self.scale,
+            "weights": self.weights,
+            "bias": self.bias,
+            "threshold": self.threshold,
+            "meta": self.meta,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "RankModel":
+        if payload.get("format") != RANK_MODEL_FORMAT:
+            raise ValueError(
+                f"not a rank model payload: format "
+                f"{payload.get('format')!r}"
+            )
+        if payload.get("version") != RANK_MODEL_VERSION:
+            raise ValueError(
+                f"unsupported rank model version {payload.get('version')!r}"
+            )
+        return cls(
+            weights=payload["weights"],
+            bias=payload["bias"],
+            mean=payload["mean"],
+            scale=payload["scale"],
+            threshold=payload["threshold"],
+            features=payload["features"],
+            kind=payload.get("kind", "logistic"),
+            meta=payload.get("meta"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RankModel":
+        with open(path) as fh:
+            return cls.from_payload(json.load(fh))
+
+
+def resolve_model(spec) -> RankModel:
+    """A RankModel from a model, a payload dict, or a file path."""
+    if isinstance(spec, RankModel):
+        return spec
+    if isinstance(spec, dict):
+        return RankModel.from_payload(spec)
+    if isinstance(spec, str):
+        return RankModel.load(spec)
+    raise ValueError(
+        f"cannot resolve a rank model from {type(spec).__name__}"
+    )
+
+
+def passthrough_model(meta: Optional[Dict] = None) -> RankModel:
+    """A model that scores every candidate 0.5 and prunes nothing."""
+    n = len(FEATURE_NAMES)
+    info = {"degenerate": True}
+    info.update(meta or {})
+    return RankModel(
+        weights=[0.0] * n,
+        bias=0.0,
+        mean=[0.0] * n,
+        scale=[1.0] * n,
+        threshold=0.0,
+        meta=info,
+    )
+
+
+def fit_model(
+    rows: Sequence[Dict],
+    target_recall: float = 1.0,
+    epochs: int = 300,
+    lr: float = 0.5,
+    l2: float = 1e-4,
+    meta: Optional[Dict] = None,
+) -> RankModel:
+    """Fit the logistic ranker on dataset rows (see ``repro.rank.dataset``).
+
+    Deterministic: full-batch gradient descent from a zero start, class-
+    balanced sample weights, no randomness anywhere.  Degenerate datasets
+    (too few rows, or a single outcome class) yield a pass-through model
+    whose threshold prunes nothing — a safe artifact by construction.
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError(f"target_recall must be in (0, 1], got {target_recall}")
+    X = [[float(v) for v in row["features"]] for row in rows]
+    y = [int(row["accept"]) for row in rows]
+    n = len(X)
+    n_pos = sum(y)
+    base_meta = {
+        "rows": n,
+        "accepts": n_pos,
+        "target_recall": target_recall,
+        "epochs": epochs,
+        "lr": lr,
+        "l2": l2,
+    }
+    base_meta.update(meta or {})
+    if n < MIN_FIT_ROWS or n_pos == 0 or n_pos == n:
+        return passthrough_model(base_meta)
+    dim = len(FEATURE_NAMES)
+    if any(len(x) != dim for x in X):
+        raise ValueError("feature vector width does not match FEATURE_NAMES")
+
+    mean = [sum(x[j] for x in X) / n for j in range(dim)]
+    var = [
+        sum((x[j] - mean[j]) ** 2 for x in X) / n for j in range(dim)
+    ]
+    scale = [math.sqrt(v) if v > 1e-12 else 1.0 for v in var]
+    Z = [[(x[j] - mean[j]) / scale[j] for j in range(dim)] for x in X]
+
+    # Balanced sample weights keep a reject-heavy log from collapsing to
+    # the majority class.
+    w_pos = n / (2.0 * n_pos)
+    w_neg = n / (2.0 * (n - n_pos))
+    sw = [w_pos if yi else w_neg for yi in y]
+    sw_total = sum(sw)
+
+    weights = [0.0] * dim
+    bias = 0.0
+    for _ in range(epochs):
+        grad_w = [0.0] * dim
+        grad_b = 0.0
+        for zi, yi, wi in zip(Z, y, sw):
+            p = _sigmoid(bias + sum(w * v for w, v in zip(weights, zi)))
+            err = wi * (p - yi)
+            grad_b += err
+            for j in range(dim):
+                grad_w[j] += err * zi[j]
+        bias -= lr * grad_b / sw_total
+        for j in range(dim):
+            weights[j] -= lr * (grad_w[j] / sw_total + l2 * weights[j])
+
+    model = RankModel(
+        weights=weights,
+        bias=bias,
+        mean=mean,
+        scale=scale,
+        threshold=0.0,
+        meta=base_meta,
+    )
+    accept_scores = sorted(
+        model.score(x) for x, yi in zip(X, y) if yi
+    )
+    # Allow the lowest (1 - recall) fraction of training accepts below
+    # the threshold; recall 1.0 pivots on the minimum accept score.
+    pivot = min(
+        int((1.0 - target_recall) * len(accept_scores)),
+        len(accept_scores) - 1,
+    )
+    model.threshold = max(0.0, accept_scores[pivot] - _THRESHOLD_MARGIN)
+    return model

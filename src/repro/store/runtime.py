@@ -42,6 +42,8 @@ MEMORY_LIMITS: Dict[str, int] = {
     # Whole cone-task results (encoded networks — large entries, so a
     # modest in-memory bound; the disk tier holds the full history).
     "cone": 256,
+    # Fitted rank-model artifacts, keyed by fingerprint (DESIGN 3.23).
+    "rank_model": 16,
 }
 
 DEFAULT_MEMORY_ENTRIES = 4096

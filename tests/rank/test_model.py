@@ -1,0 +1,204 @@
+"""The rank dataset and model layer (repro/rank), no optimizer involved."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.rank import (
+    FEATURE_NAMES,
+    MIN_FIT_ROWS,
+    RANK_MODEL_FORMAT,
+    RankLogger,
+    RankModel,
+    decode_row,
+    encode_row,
+    fit_model,
+    load_dataset,
+    passthrough_model,
+    resolve_model,
+)
+
+
+def _rows(n_accept=20, n_reject=20):
+    """A separable synthetic dataset: accepts have small cones."""
+    rows = []
+    for i in range(n_accept):
+        feats = [5.0 + i % 3, 4.0, 10.0, 0.0, 1.0, float(i % 2), 0.0]
+        rows.append({"features": feats, "accept": 1})
+    for i in range(n_reject):
+        feats = [50.0 + i % 7, 20.0, 10.0, 0.0, 8.0, float(i % 2), 3.0]
+        rows.append({"features": feats, "accept": 0})
+    return rows
+
+
+class TestDataset:
+    def test_encode_row_is_canonical(self):
+        row = {"b": 1, "a": [1.5, 2.0]}
+        assert encode_row(row) == '{"a":[1.5,2.0],"b":1}'
+        assert decode_row(encode_row(row)) == row
+
+    def test_logger_appends_jsonl(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        with RankLogger(str(path)) as logger:
+            logger.log({"features": [0.0] * 7, "accept": 1})
+            logger.log({"features": [1.0] * 7, "accept": 0})
+            assert len(logger) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert decode_row(lines[0])["accept"] == 1
+
+    def test_load_dataset_concatenates_files(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(encode_row({"accept": 1}) + "\n")
+        b.write_text(encode_row({"accept": 0}) + "\n\n")
+        rows = load_dataset([str(a), str(b)])
+        assert [r["accept"] for r in rows] == [1, 0]
+
+
+class TestFit:
+    def test_fit_is_deterministic(self):
+        rows = _rows()
+        m1, m2 = fit_model(rows), fit_model(rows)
+        assert m1.canonical_json() == m2.canonical_json()
+        assert m1.fingerprint() == m2.fingerprint()
+
+    def test_separable_data_separates(self):
+        model = fit_model(_rows())
+        accept_scores = [
+            model.score(r["features"]) for r in _rows() if r["accept"]
+        ]
+        reject_scores = [
+            model.score(r["features"]) for r in _rows() if not r["accept"]
+        ]
+        assert min(accept_scores) > max(reject_scores)
+
+    def test_recall_one_threshold_never_prunes_accepts(self):
+        rows = _rows()
+        model = fit_model(rows, target_recall=1.0)
+        for row in rows:
+            if row["accept"]:
+                assert model.score(row["features"]) >= model.threshold
+
+    def test_lower_recall_raises_threshold(self):
+        rows = _rows()
+        full = fit_model(rows, target_recall=1.0)
+        half = fit_model(rows, target_recall=0.5)
+        assert half.threshold >= full.threshold
+
+    def test_degenerate_datasets_passthrough(self):
+        few = _rows(2, 2)[: MIN_FIT_ROWS - 1]
+        single_class = [
+            {"features": [float(i)] * 7, "accept": 1} for i in range(40)
+        ]
+        for rows in (few, single_class, []):
+            model = fit_model(rows)
+            assert model.meta["degenerate"] is True
+            assert model.threshold == 0.0  # scores are > 0: prunes nothing
+            assert model.score([1e9] * 7) > model.threshold
+
+    def test_bad_target_recall_rejected(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                fit_model(_rows(), target_recall=bad)
+
+    def test_wrong_feature_width_rejected(self):
+        rows = _rows()
+        rows[0]["features"] = [1.0, 2.0]
+        with pytest.raises(ValueError):
+            fit_model(rows)
+
+
+class TestArtifact:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = fit_model(_rows())
+        path = tmp_path / "model.json"
+        model.save(str(path))
+        back = RankModel.load(str(path))
+        assert back.canonical_json() == model.canonical_json()
+        assert back.fingerprint() == model.fingerprint()
+
+    def test_payload_is_versioned(self):
+        payload = fit_model(_rows()).payload()
+        assert payload["format"] == RANK_MODEL_FORMAT
+        assert payload["features"] == list(FEATURE_NAMES)
+
+    def test_from_payload_rejects_malformed(self):
+        good = fit_model(_rows()).payload()
+        wrong_format = dict(good, format="not-a-model")
+        wrong_version = dict(good, version=99)
+        for bad in ({}, wrong_format, wrong_version):
+            with pytest.raises(ValueError):
+                RankModel.from_payload(bad)
+
+    def test_resolve_model_accepts_model_payload_and_path(self, tmp_path):
+        model = fit_model(_rows())
+        path = tmp_path / "model.json"
+        model.save(str(path))
+        for spec in (model, model.payload(), str(path)):
+            assert resolve_model(spec).fingerprint() == model.fingerprint()
+        with pytest.raises(ValueError):
+            resolve_model(42)
+
+    def test_passthrough_scores_half(self):
+        model = passthrough_model()
+        assert model.score([123.0] * 7) == pytest.approx(0.5)
+        assert model.threshold == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RankModel(
+                weights=[0.0], bias=0.0, mean=[0.0, 0.0],
+                scale=[1.0, 1.0], threshold=0.0,
+                features=("a", "b"),
+            )
+
+
+def test_cli_rank_fit_writes_artifact(tmp_path, capsys):
+    from repro.cli import main
+
+    data = tmp_path / "data.jsonl"
+    with RankLogger(str(data)) as logger:
+        for row in _rows():
+            logger.log(row)
+    out = tmp_path / "model.json"
+    assert main([
+        "rank", "fit", "--data", str(data), "-o", str(out),
+    ]) == 0
+    model = RankModel.load(str(out))
+    assert model.meta["rows"] == len(_rows())
+    assert "fingerprint" in capsys.readouterr().out
+
+
+def test_cli_rank_fit_empty_dataset_errors(tmp_path, capsys):
+    from repro.cli import main
+
+    data = tmp_path / "empty.jsonl"
+    data.write_text("")
+    out = tmp_path / "model.json"
+    assert main(["rank", "fit", "--data", str(data), "-o", str(out)]) == 1
+
+
+def test_cli_rank_fit_store_records_artifact(tmp_path):
+    from repro.cli import main
+    from repro.store import SqliteStore
+
+    data = tmp_path / "data.jsonl"
+    with RankLogger(str(data)) as logger:
+        for row in _rows():
+            logger.log(row)
+    out = tmp_path / "model.json"
+    db = tmp_path / "results.db"
+    assert main([
+        "rank", "fit", "--data", str(data), "-o", str(out),
+        "--store", str(db),
+    ]) == 0
+    model = RankModel.load(str(out))
+    store = SqliteStore(str(db))
+    try:
+        stored = store.namespace("rank_model").get(model.fingerprint())
+        assert RankModel.from_payload(stored).fingerprint() \
+            == model.fingerprint()
+    finally:
+        store.close()
